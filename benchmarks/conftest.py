@@ -1,0 +1,41 @@
+"""Shared configuration for the per-figure/per-table benchmarks.
+
+Every bench regenerates one of the paper's tables or figures and asserts
+its *shape* (orderings, factors, crossovers) against the paper.  CPU
+sweeps are capped by default so `pytest benchmarks/ --benchmark-only`
+finishes in minutes; set ``REPRO_BENCH_MAX_CPUS`` (e.g. to 2024) for the
+paper's full ranges — the assertions adapt where scale matters.
+"""
+
+import os
+
+import pytest
+
+#: Default sweep cap for the IMB figures (paper: 512/576).
+BENCH_MAX_CPUS = int(os.environ.get("REPRO_BENCH_MAX_CPUS", "64"))
+
+#: Cap for the HPCC balance sweeps (paper: 2024); ring sweeps are cheap
+#: so this can afford to go further than the IMB cap.
+HPCC_MAX_CPUS = int(os.environ.get("REPRO_BENCH_HPCC_MAX_CPUS",
+                                   str(max(BENCH_MAX_CPUS, 128))))
+
+
+def series_map(fig):
+    """{machine: (xs, ys)} accessor for FigureResult."""
+    return {s.machine: (list(s.x), list(s.y)) for s in fig.series}
+
+
+def last_y(fig, machine):
+    return fig.by_machine(machine).y[-1]
+
+
+def y_at_cpus(fig, machine, cpus, extra_key="cpu_counts"):
+    """y value at a given CPU count for HPCC figures carrying counts."""
+    counts = fig.extra[extra_key][machine]
+    s = fig.by_machine(machine)
+    return s.y[counts.index(cpus)]
+
+
+@pytest.fixture(scope="session")
+def bench_cap():
+    return BENCH_MAX_CPUS

@@ -1,0 +1,129 @@
+"""Ablation: collective algorithm choice.
+
+Quantifies why the MPICH-style tuning rules exist — "reductions
+benchmarks measure the message passing tests as well as efficiency of
+the algorithms used underneath" (paper §3.2.3).  Each case compares two
+implementations of the same collective on the same machine and asserts
+the tuned default picks the winner in its regime.
+"""
+
+import pytest
+
+from repro import Cluster, get_machine
+from benchmarks.conftest import BENCH_MAX_CPUS
+
+MB = 1024 * 1024
+P = min(BENCH_MAX_CPUS, 32)
+
+
+def timed(machine_name, prog):
+    cluster = Cluster(get_machine(machine_name), P)
+
+    def driver(comm):
+        yield from comm.barrier()
+        t0 = comm.now
+        yield from prog(comm)
+        return comm.now - t0
+
+    return max(cluster.run(driver).results) * 1e6
+
+
+def test_bcast_large_scatter_ring_beats_binomial(benchmark):
+    def scatter_ring(comm):
+        yield from comm.bcast(nbytes=MB, algorithm="scatter_ring")
+
+    def binomial(comm):
+        yield from comm.bcast(nbytes=MB, algorithm="binomial")
+
+    t_sr = benchmark.pedantic(lambda: timed("xeon", scatter_ring),
+                              rounds=1, iterations=1)
+    t_bin = timed("xeon", binomial)
+    # van de Geijn avoids the log(P) full-payload critical path
+    assert t_sr < t_bin
+    # and the tuned default picks it at 1 MB
+    def tuned(comm):
+        yield from comm.bcast(nbytes=MB)
+    assert timed("xeon", tuned) == pytest.approx(t_sr, rel=0.05)
+
+
+def test_bcast_small_binomial_beats_scatter_ring(benchmark):
+    def scatter_ring(comm):
+        yield from comm.bcast(nbytes=256, algorithm="scatter_ring")
+
+    def binomial(comm):
+        yield from comm.bcast(nbytes=256, algorithm="binomial")
+
+    t_bin = benchmark.pedantic(lambda: timed("xeon", binomial),
+                               rounds=1, iterations=1)
+    t_sr = timed("xeon", scatter_ring)
+    # P-1 latency-bound ring steps lose badly at small sizes
+    assert t_bin < t_sr
+
+
+def test_allreduce_large_rabenseifner_beats_recursive_doubling(benchmark):
+    def rab(comm):
+        yield from comm.allreduce(nbytes=MB, algorithm="rabenseifner")
+
+    def rd(comm):
+        yield from comm.allreduce(nbytes=MB, algorithm="recursive_doubling")
+
+    t_rab = benchmark.pedantic(lambda: timed("opteron", rab),
+                               rounds=1, iterations=1)
+    t_rd = timed("opteron", rd)
+    # recursive doubling moves log(P) full payloads; Rabenseifner ~2
+    assert t_rab < 0.7 * t_rd
+
+
+def test_allreduce_small_recursive_doubling_beats_rabenseifner(benchmark):
+    def rab(comm):
+        yield from comm.allreduce(nbytes=64, algorithm="rabenseifner")
+
+    def rd(comm):
+        yield from comm.allreduce(nbytes=64, algorithm="recursive_doubling")
+
+    t_rd = benchmark.pedantic(lambda: timed("opteron", rd),
+                              rounds=1, iterations=1)
+    t_rab = timed("opteron", rab)
+    assert t_rd < t_rab
+
+
+def test_alltoall_small_bruck_beats_pairwise(benchmark):
+    def bruck(comm):
+        yield from comm.alltoall(nbytes=8, algorithm="bruck")
+
+    def pairwise(comm):
+        yield from comm.alltoall(nbytes=8, algorithm="pairwise")
+
+    t_bruck = benchmark.pedantic(lambda: timed("opteron", bruck),
+                                 rounds=1, iterations=1)
+    t_pw = timed("opteron", pairwise)
+    # log(P) rounds vs P-1 rounds on a ~10 us network
+    assert t_bruck < t_pw
+
+
+def test_alltoall_large_pairwise_beats_bruck(benchmark):
+    def bruck(comm):
+        yield from comm.alltoall(nbytes=MB, algorithm="bruck")
+
+    def pairwise(comm):
+        yield from comm.alltoall(nbytes=MB, algorithm="pairwise")
+
+    t_pw = benchmark.pedantic(lambda: timed("sx8", pairwise),
+                              rounds=1, iterations=1)
+    t_bruck = timed("sx8", bruck)
+    # bruck inflates volume by ~log(P)/2
+    assert t_pw < t_bruck
+
+
+def test_barrier_dissemination_beats_tree(benchmark):
+    def diss(comm):
+        yield from comm.barrier(algorithm="dissemination")
+
+    def tree(comm):
+        yield from comm.barrier(algorithm="tree")
+
+    t_diss = benchmark.pedantic(lambda: timed("xeon", diss),
+                                rounds=1, iterations=1)
+    t_tree = timed("xeon", tree)
+    # gather+release doubles the tree depth
+    assert t_diss < t_tree

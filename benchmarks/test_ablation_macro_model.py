@@ -1,0 +1,79 @@
+"""Ablation: closed-form (macro) collective models vs message-level DES.
+
+DESIGN.md licenses the macro models for the 500-2000 CPU sweeps on the
+grounds that they agree with the algorithmic simulation at tractable
+scale.  This bench quantifies the deviation across machines, collectives
+and sizes, and asserts the quality bar the harness relies on.
+"""
+
+import pytest
+
+from repro import get_machine
+from repro.imb import run_benchmark
+from repro.network import macro
+from repro.network.macro import MacroContext
+from benchmarks.conftest import BENCH_MAX_CPUS
+
+MB = 1024 * 1024
+P = min(BENCH_MAX_CPUS, 32)
+
+CASES = [
+    ("Alltoall", macro.alltoall_time, MB),
+    ("Allreduce", macro.allreduce_rabenseifner_time, MB),
+    ("Allgather", macro.allgather_ring_time, MB),
+    ("Bcast", macro.bcast_scatter_ring_time, MB),
+]
+
+
+def deviations():
+    out = {}
+    for machine_name in ("sx8", "altix_nl4", "xeon", "opteron"):
+        m = get_machine(machine_name)
+        ctx = MacroContext.from_machine(m, P)
+        for bench, fn, nbytes in CASES:
+            alg = run_benchmark(m, bench, P, nbytes).time_us
+            mac = fn(ctx, nbytes) * 1e6
+            out[(machine_name, bench)] = mac / alg
+    return out
+
+
+def test_macro_within_tolerance_everywhere(benchmark):
+    ratios = benchmark.pedantic(deviations, rounds=1, iterations=1)
+    for key, r in ratios.items():
+        assert 0.45 < r < 2.2, (key, r)
+    # aggregate bias stays small: geometric mean within 40%
+    import math
+    gmean = math.exp(sum(math.log(r) for r in ratios.values())
+                     / len(ratios))
+    assert 0.6 < gmean < 1.6
+
+
+def test_macro_barrier_scaling_structure(benchmark):
+    """Macro barrier grows like log2(P), matching dissemination."""
+    m = get_machine("xeon")
+
+    def run():
+        return [macro.barrier_dissemination_time(
+            MacroContext.from_machine(m, p)) for p in (8, 64, 512)]
+
+    t8, t64, t512 = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert t64 == pytest.approx(2 * t8, rel=0.3)    # 6 rounds vs 3
+    assert t512 == pytest.approx(3 * t8, rel=0.3)   # 9 rounds vs 3
+
+
+def test_macro_speed_advantage(benchmark):
+    """The whole point: macro costs microseconds where the DES costs
+    seconds, enabling the 2024-CPU sweeps."""
+    import time
+
+    m = get_machine("xeon")
+
+    def macro_eval():
+        ctx = MacroContext.from_machine(m, 512)
+        return macro.alltoall_time(ctx, MB)
+
+    t0 = time.perf_counter()
+    macro_eval()
+    macro_host = time.perf_counter() - t0
+    benchmark.pedantic(macro_eval, rounds=3, iterations=1)
+    assert macro_host < 1.0  # vs tens of seconds for a 512-rank DES run

@@ -1,0 +1,94 @@
+"""Ablation: eager/rendezvous protocol threshold.
+
+The DESIGN.md model includes both MPI transfer protocols; this bench
+shows each one earns its keep: eager wins the latency race for small
+messages (no handshake), rendezvous wins for large ones (no staging
+copy), and the sender-synchronisation semantics differ observably.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import Cluster
+from tests.conftest import make_test_machine
+
+
+def machine_with_threshold(threshold: int):
+    m = make_test_machine()
+    net = dataclasses.replace(m.network, eager_threshold=threshold)
+    return dataclasses.replace(m, network=net)
+
+
+def one_way_time(machine, nbytes: int) -> float:
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send(2, nbytes=nbytes)  # rank 2: other node
+        elif comm.rank == 2:
+            yield from comm.recv(0)
+            return comm.now
+
+    return Cluster(machine, 4).run(prog).results[2]
+
+
+def sender_free_time(machine, nbytes: int) -> float:
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send(2, nbytes=nbytes)
+            return comm.now
+        elif comm.rank == 2:
+            yield 0.001  # recv posted late
+            yield from comm.recv(0)
+
+    return Cluster(machine, 4).run(prog).results[0]
+
+
+def test_eager_wins_small_messages(benchmark):
+    always_eager = machine_with_threshold(1 << 30)
+    always_rndv = machine_with_threshold(0)
+    t_eager = benchmark.pedantic(lambda: one_way_time(always_eager, 64),
+                                 rounds=1, iterations=1)
+    t_rndv = one_way_time(always_rndv, 64)
+    # rendezvous pays an extra round trip on every message
+    assert t_rndv > t_eager + 1.5 * always_rndv.fabric_params().base_latency
+
+
+def test_rendezvous_wins_large_messages(benchmark):
+    always_eager = machine_with_threshold(1 << 30)
+    always_rndv = machine_with_threshold(0)
+    n = 16 * 1024 * 1024
+    t_rndv = benchmark.pedantic(lambda: one_way_time(always_rndv, n),
+                                rounds=1, iterations=1)
+    t_eager = one_way_time(always_eager, n)
+    # eager stages through a memcpy the rendezvous path avoids
+    assert t_eager > t_rndv
+
+
+def test_sender_semantics_differ(benchmark):
+    """Eager senders return immediately; rendezvous senders block until
+    the receiver shows up — the classic protocol-visible difference."""
+    always_eager = machine_with_threshold(1 << 30)
+    always_rndv = machine_with_threshold(0)
+    n = 1024 * 1024
+    t_eager = benchmark.pedantic(lambda: sender_free_time(always_eager, n),
+                                 rounds=1, iterations=1)
+    t_rndv = sender_free_time(always_rndv, n)
+    assert t_eager < 0.001       # long gone before the late recv
+    assert t_rndv > 0.001        # held hostage by the handshake
+
+
+def test_threshold_sweep_crossover(benchmark):
+    """The optimal threshold sits where staging cost = handshake cost."""
+    def run():
+        out = {}
+        for nbytes in (256, 4096, 65536, 1 << 20):
+            e = one_way_time(machine_with_threshold(1 << 30), nbytes)
+            r = one_way_time(machine_with_threshold(0), nbytes)
+            out[nbytes] = e / r
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    # eager relatively best at the small end, worst at the large end
+    assert ratios[256] < ratios[1 << 20]
+    assert ratios[256] < 1.0
+    assert ratios[1 << 20] > 1.0

@@ -1,0 +1,100 @@
+"""Ablation: interconnect topology and blocking effects.
+
+Isolates the structural choices DESIGN.md calls out: fat-tree blocking
+factors (the Altix inter-box collapse, the Opteron leaf-switch cliff),
+NIC duplex capability (Myrinet PCI-X), and topology family, holding all
+other machine parameters fixed.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import Cluster
+from repro.hpcc import RingConfig, run_ring
+from repro.imb import run_benchmark
+from tests.conftest import make_test_machine
+
+MB = 1024 * 1024
+
+
+def fattree_machine(blocking: float, leaf: int = 8):
+    return make_test_machine(
+        topology_kind="fattree",
+        max_cpus=128,
+        group_sizes=(leaf, 16),
+        level_blocking=(1.0, blocking),
+    )
+
+
+def test_core_blocking_cuts_ring_bandwidth(benchmark):
+    def run():
+        out = {}
+        for blocking in (1.0, 4.0, 16.0):
+            m = fattree_machine(blocking)
+            out[blocking] = run_ring(m, 64, RingConfig(n_rings=3)).bandwidth_gbs
+        return out
+
+    bw = benchmark.pedantic(run, rounds=1, iterations=1)
+    # monotone degradation with oversubscription
+    assert bw[1.0] >= bw[4.0] >= bw[16.0]
+    assert bw[1.0] > 1.8 * bw[16.0]
+
+
+def test_blocking_invisible_inside_one_leaf_switch(benchmark):
+    """Traffic confined to a leaf switch never touches the blocked core:
+    the Opteron cliff appears exactly when the job outgrows one switch."""
+    def run():
+        m_open = fattree_machine(1.0)
+        m_blocked = fattree_machine(16.0)
+        inside = (run_ring(m_blocked, 16, RingConfig(n_rings=3)).bandwidth_gbs,
+                  run_ring(m_open, 16, RingConfig(n_rings=3)).bandwidth_gbs)
+        outside = (run_ring(m_blocked, 64, RingConfig(n_rings=3)).bandwidth_gbs,
+                   run_ring(m_open, 64, RingConfig(n_rings=3)).bandwidth_gbs)
+        return inside, outside
+
+    (in_b, in_o), (out_b, out_o) = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    assert in_b == pytest.approx(in_o, rel=0.02)   # one switch: no effect
+    assert out_b < 0.8 * out_o                     # two+ switches: cliff
+
+
+def test_half_duplex_nic_hurts_bidirectional_patterns(benchmark):
+    def run():
+        full = make_test_machine(duplex_factor=2.0)
+        half = make_test_machine(duplex_factor=1.0)
+        out = {}
+        for name, m in (("full", full), ("half", half)):
+            out[name] = {
+                "exchange": run_benchmark(m, "Exchange", 16, MB).time_us,
+                "bcast": run_benchmark(m, "Bcast", 16, MB).time_us,
+            }
+        return out
+
+    t = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Exchange (fully bidirectional) suffers ~2x; one-directional flows
+    # in the bcast pipeline suffer much less
+    ex_penalty = t["half"]["exchange"] / t["full"]["exchange"]
+    bc_penalty = t["half"]["bcast"] / t["full"]["bcast"]
+    assert ex_penalty > 1.5
+    assert bc_penalty < ex_penalty
+
+
+def test_topology_family_alltoall(benchmark):
+    """Same link speeds, different wiring: the non-blocking crossbar and
+    hypercube sustain alltoall that a 4:1-blocked tree cannot."""
+    def run():
+        xbar = make_test_machine(topology_kind="crossbar", max_cpus=128)
+        cube = make_test_machine(topology_kind="hypercube", max_cpus=128)
+        tree = fattree_machine(4.0)
+        return {
+            "crossbar": run_benchmark(xbar, "Alltoall", 64, 65536).time_us,
+            "hypercube": run_benchmark(cube, "Alltoall", 64, 65536).time_us,
+            "blocked_tree": run_benchmark(tree, "Alltoall", 64, 65536).time_us,
+        }
+
+    t = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert t["blocked_tree"] > 1.3 * t["crossbar"]
+    assert t["blocked_tree"] > 1.3 * t["hypercube"]
+    # hypercube pays extra hop latency but keeps full bisection
+    assert t["hypercube"] == pytest.approx(t["crossbar"], rel=0.5)

@@ -1,0 +1,100 @@
+"""The paper's thesis, tested: application performance is bounded by the
+HPCC locality classes (§1).
+
+Each proxy application's cross-machine ordering must follow the
+benchmark class it stresses:
+
+* the spectral proxy (alltoall-bound) follows the Fig 12 Alltoall
+  ordering and the random-ring bandwidth;
+* the AMR ghost-exchange proxy follows the Exchange/point-bandwidth
+  tier structure;
+* CG's *compute* side follows STREAM, and its communication fraction
+  follows ring latency.
+"""
+
+import pytest
+
+from repro import get_machine
+from repro.apps import AMRConfig, CGConfig, SpectralConfig, run_amr, run_cg, run_spectral
+from repro.hpcc import RingConfig, run_ring, run_stream
+from repro.imb import run_benchmark
+
+P = 16
+MACHINES = ("sx8", "altix_nl4", "xeon", "opteron")
+
+
+def order(d):
+    return sorted(d, key=d.get)
+
+
+def test_spectral_comm_follows_alltoall_ordering(benchmark):
+    """The transpose phases of the spectral proxy order exactly like the
+    standalone Alltoall benchmark at the same chunk size; the total time
+    winner is the machine Fig 12 crowns."""
+    def run():
+        comm_t, total, a2a = {}, {}, {}
+        for name in MACHINES:
+            m = get_machine(name)
+            res = run_spectral(
+                m, P, SpectralConfig(total_elements=1 << 16, steps=2)
+            )
+            comm_t[name] = res.comm_fraction * res.elapsed
+            total[name] = res.elapsed
+            chunk = 16 * (1 << 16) // P // P
+            a2a[name] = run_benchmark(m, "Alltoall", P, chunk).time_us
+        return comm_t, total, a2a
+
+    comm_t, total, a2a = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert order(comm_t) == order(a2a)
+    assert order(total)[0] == "sx8"
+
+
+def test_amr_follows_exchange_tiers(benchmark):
+    """In the communication-heavy regime (thin blocks, fat ghost layers)
+    the ghost exchange dominates and the half-duplex Myrinet cluster
+    drops to last — the Fig 14 tier structure."""
+    cfg = AMRConfig(cells_per_rank=40_000, ghost_cells=32_768, steps=4)
+
+    def run():
+        out = {}
+        for name in MACHINES:
+            out[name] = run_amr(get_machine(name), P, cfg).elapsed
+        return out
+
+    app = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert order(app)[0] == "sx8"
+    assert order(app)[-1] == "opteron"
+
+
+def test_cg_compute_follows_stream(benchmark):
+    """With communication amortised (big blocks), CG per-iteration time
+    orders by STREAM bandwidth — HPCC's 'low temporal, high spatial'
+    class, exactly as the paper's taxonomy predicts."""
+    def run():
+        app, stream = {}, {}
+        for name in MACHINES:
+            m = get_machine(name)
+            app[name] = run_cg(m, P, CGConfig(n_local=400_000,
+                                              iterations=5)).elapsed
+            stream[name] = run_stream(m, min(P, 8)).triad_gbs
+        return app, stream
+
+    app, stream = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert order(app) == order({k: -v for k, v in stream.items()})
+
+
+def test_cg_comm_fraction_tracks_latency(benchmark):
+    """With tiny blocks, CG is an allreduce-latency study."""
+    def run():
+        frac, lat = {}, {}
+        for name in MACHINES:
+            m = get_machine(name)
+            frac[name] = run_cg(m, P, CGConfig(n_local=64,
+                                               iterations=20)).comm_fraction
+            lat[name] = run_ring(m, P, RingConfig(n_rings=3)).latency_us
+        return frac, lat
+
+    frac, lat = benchmark.pedantic(run, rounds=1, iterations=1)
+    # the lowest-latency machine spends the smallest fraction waiting
+    assert order(frac)[0] == order(lat)[0]
+    assert all(0 < f < 1 for f in frac.values())

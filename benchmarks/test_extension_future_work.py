@@ -1,0 +1,94 @@
+"""Benches for the paper's future-work extensions (§5.2), implemented.
+
+Covers the three announced campaigns: message-size sweeps (1 B-2 MB),
+one-sided GET/PUT, and the five additional architectures — plus b_eff,
+the effective-bandwidth benchmark two of the paper's authors maintain.
+"""
+
+import pytest
+
+from repro import get_machine
+from repro.harness.extended import (
+    message_size_sweep,
+    onesided_comparison,
+    sequel_study,
+)
+from repro.hpcc.beff import BeffConfig, run_beff
+
+MB = 1024 * 1024
+
+
+def test_size_sweep_latency_floor_and_saturation(benchmark):
+    """The sweep shows both regimes the paper says single numbers hide:
+    a latency floor at 1 B and bandwidth saturation by 2 MB."""
+    def run():
+        return {
+            name: message_size_sweep(get_machine(name), "PingPong", 2,
+                                     sizes=[1, 1024, 2 * MB, 4 * MB])
+            for name in ("sx8", "xeon", "opteron")
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, pts in sweeps.items():
+        times = [t for (_s, t, _bw) in pts]
+        bws = [bw for (_s, _t, bw) in pts]
+        assert times == sorted(times), name
+        # latency floor: 1 B and 1 KiB within 2x of each other
+        assert times[1] < 2 * times[0], name
+        # saturation: the last doubling gains < 35% bandwidth
+        assert bws[-1] < 1.35 * bws[-2], name
+
+
+def test_size_sweep_vector_crossover(benchmark):
+    """At 1 B the low-latency Altix beats the SX-8 on Allreduce; by 2 MB
+    the SX-8's bandwidth dominates — the crossover the future-work sweep
+    was meant to chart."""
+    def run():
+        out = {}
+        for name in ("sx8", "altix_nl4"):
+            out[name] = dict(
+                (s, t) for (s, t, _bw) in message_size_sweep(
+                    get_machine(name), "Allreduce", 8, sizes=[1, 2 * MB])
+            )
+        return out
+
+    t = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert t["altix_nl4"][1] < t["sx8"][1]            # latency regime
+    assert t["sx8"][2 * MB] < t["altix_nl4"][2 * MB]  # bandwidth regime
+
+
+def test_onesided_put_matches_two_sided_on_rdma(benchmark):
+    out = benchmark.pedantic(lambda: onesided_comparison(nprocs=4),
+                             rounds=1, iterations=1)
+    # on InfiniBand the RDMA put rides the same wire as the send
+    xeon = out["xeon"]
+    assert xeon["Unidir_Put"] == pytest.approx(xeon["PingPong"], rel=0.6)
+    # gets pay an extra request latency
+    for row in out.values():
+        assert row["Unidir_Get"] >= row["Unidir_Put"] * 0.9
+
+
+def test_sequel_machines_balance(benchmark):
+    rows = benchmark.pedantic(lambda: sequel_study(nprocs=64),
+                              rounds=1, iterations=1)
+    by = {r["machine"]: r for r in rows}
+    # the XT4 was Cray's answer to exactly the Myrinet-cluster weakness
+    # the paper measured: its balance must crush the GigE baseline and
+    # clear the 2005 Opteron cluster's ~25 B/KFlop
+    assert by["cray_xt4"]["b_per_kflop"] > 4 * by["gige"]["b_per_kflop"]
+    assert by["cray_xt4"]["b_per_kflop"] > 25
+    # the X1E keeps vector-class HPL efficiency
+    assert by["cray_x1e"]["hpl_efficiency"] > 0.85
+
+
+def test_beff_effective_bandwidth(benchmark):
+    """b_eff (paper ref [14]): the log-size average is latency-weighted,
+    so the Altix leads despite the SX-8 owning the bandwidth charts."""
+    cfg = BeffConfig(l_max=1 << 18, n_sizes=11, n_random_rings=2)
+
+    def run():
+        return {name: run_beff(get_machine(name), 16, cfg).beff_mbs
+                for name in ("sx8", "altix_nl4", "xeon", "opteron")}
+
+    vals = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert vals["altix_nl4"] > vals["sx8"] > vals["xeon"] > vals["opteron"]

@@ -1,0 +1,80 @@
+"""Figures 1-2: accumulated random-ring bandwidth vs HPL, absolute and
+as a B/KFlop ratio.
+
+Paper anchors reproduced here: NL4 ~203 B/KFlop in one box (vs NL3 ~94,
+a ~2.2x NUMALINK4 advantage), SX-8 flat near 60, Opteron ~24 at 64 CPUs
+with a steep 32->64 collapse; with a full-scale run (REPRO_BENCH_HPCC_
+MAX_CPUS >= 2024) the Altix inter-box collapse to ~23 and the SX-8
+crossover are asserted too.
+"""
+
+import pytest
+
+from repro.harness import fig01, fig02
+from benchmarks.conftest import HPCC_MAX_CPUS, y_at_cpus
+
+
+@pytest.fixture(scope="module")
+def figures():
+    f1 = fig01(max_cpus=HPCC_MAX_CPUS)
+    f2 = fig02(max_cpus=HPCC_MAX_CPUS)
+    return f1, f2
+
+
+def test_fig01_accumulated_bandwidth(benchmark, figures):
+    f1, _ = figures
+    benchmark.pedantic(lambda: fig01(max_cpus=16), rounds=1, iterations=1)
+    # accumulated bandwidth grows with system size on every machine once
+    # the run spans multiple nodes (the first points on fat-node systems
+    # are intra-node-inflated, as in the paper's leftmost samples)
+    for s in f1.series:
+        assert s.y[-1] > s.y[2]
+    # at comparable HPL the NL4 Altix carries more ring traffic than NL3
+    nl4 = y_at_cpus(f1, "altix_nl4", 64)
+    nl3 = y_at_cpus(f1, "altix_nl3", 64)
+    assert nl4 > 1.5 * nl3
+
+
+def test_fig02_ratio_anchors(benchmark, figures):
+    _, f2 = figures
+    benchmark.pedantic(lambda: fig02(max_cpus=16), rounds=1, iterations=1)
+
+    # SGI Altix NL4 in-box plateau ~203 B/KFlop (paper: 203.12)
+    nl4_64 = y_at_cpus(f2, "altix_nl4", 64)
+    assert nl4_64 == pytest.approx(203.0, rel=0.2)
+    # NL3 plateau ~94 (paper: 93.81)
+    nl3_64 = y_at_cpus(f2, "altix_nl3", 64)
+    assert nl3_64 == pytest.approx(94.0, rel=0.2)
+    # NUMALINK4 improves on NUMALINK3 by about 2x in ratio terms
+    assert 1.5 < nl4_64 / nl3_64 < 3.5
+
+    # NEC SX-8: flat and near 60 B/KFlop from 64 CPUs up (paper: 59.64)
+    sx8_counts = f2.extra["cpu_counts"]["sx8"]
+    sx8 = f2.by_machine("sx8")
+    plateau = [y for c, y in zip(sx8_counts, sx8.y) if c >= 64]
+    assert min(plateau) == pytest.approx(max(plateau), rel=0.25)
+    assert plateau[-1] == pytest.approx(60.0, rel=0.35)
+
+    # Cray Opteron: ~24 B/KFlop at 64 CPUs after a steep 32->64 drop
+    opt_64 = y_at_cpus(f2, "opteron", 64)
+    opt_32 = y_at_cpus(f2, "opteron", 32)
+    assert opt_64 == pytest.approx(24.4, rel=0.35)
+    assert opt_32 > 1.25 * opt_64
+
+    # ordering at 64 CPUs: NL4 > NL3 > SX-8 > Opteron (paper Fig 2)
+    sx8_64 = y_at_cpus(f2, "sx8", 64)
+    assert nl4_64 > nl3_64 > sx8_64 > opt_64
+
+
+@pytest.mark.skipif(HPCC_MAX_CPUS < 2024,
+                    reason="full-scale sweep disabled (set "
+                           "REPRO_BENCH_HPCC_MAX_CPUS=2024)")
+def test_fig02_interbox_collapse_full_scale(benchmark, figures):
+    _, f2 = figures
+    benchmark.pedantic(lambda: f2, rounds=1, iterations=1)
+    # beyond one 512-CPU box the ratio collapses to ~23 (paper: 23.18)
+    top = y_at_cpus(f2, "altix_nl4", 2024)
+    assert top == pytest.approx(23.2, rel=0.35)
+    # crossover: the SX-8 curve ends ABOVE the multi-box Altix
+    sx8_tail = f2.by_machine("sx8").y[-1]
+    assert sx8_tail > top

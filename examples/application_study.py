@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The paper's thesis, demonstrated with proxy applications.
+
+Section 1 claims every real application is bounded by the four HPCC
+locality classes.  This example runs three proxy apps with genuinely
+different communication characters across the five machines and shows
+which benchmark class predicts each one:
+
+* CG (big blocks)       -> EP-STREAM   (memory bandwidth)
+* spectral stepping     -> Alltoall    (Fig 12 / G-FFT)
+* AMR ghost exchange    -> Exchange    (Fig 14)
+
+Run:  python examples/application_study.py
+"""
+
+from repro import get_machine
+from repro.apps import (
+    AMRConfig,
+    CGConfig,
+    SpectralConfig,
+    run_amr,
+    run_cg,
+    run_spectral,
+)
+
+MACHINES = ("sx8", "x1_msp", "altix_nl4", "xeon", "opteron")
+P = 8
+
+
+def main() -> None:
+    print(f"Proxy applications at {P} CPUs "
+          "(time per step/iteration, us; lower is better)\n")
+    header = (f"{'system':<28s} {'CG':>10s} {'spectral':>10s} "
+              f"{'AMR':>10s} {'AMR comm%':>10s}")
+    print(header)
+    print("-" * len(header))
+    for name in MACHINES:
+        m = get_machine(name)
+        cg = run_cg(m, P, CGConfig(n_local=100_000, iterations=5))
+        sp = run_spectral(m, P, SpectralConfig(total_elements=1 << 16,
+                                               steps=2))
+        amr = run_amr(m, P, AMRConfig(cells_per_rank=40_000,
+                                      ghost_cells=32_768, steps=4))
+        print(f"{m.label:<28s} {cg.time_per_iteration_us:>10.1f} "
+              f"{sp.time_per_step_us:>10.1f} {amr.time_per_step_us:>10.1f} "
+              f"{amr.comm_fraction * 100:>9.0f}%")
+    print(
+        "\nCG orders by STREAM bandwidth, the spectral code by Alltoall, "
+        "and the ghost exchange by the Exchange figure — three different "
+        "winners' podiums from one machine set, which is precisely why "
+        "the paper reports the full HPCC/IMB matrix instead of one number."
+    )
+
+
+if __name__ == "__main__":
+    main()

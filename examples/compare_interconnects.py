@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The paper's core exercise: compare five interconnects head-to-head.
+
+Runs a subset of the IMB suite at 1 MB on all five systems (plus the
+Cray X1's SSP mode) at a fixed CPU count and prints the comparison the
+paper draws in its conclusions: NEC IXS > Cray X1 > NUMALINK4 >
+InfiniBand > Myrinet for collective operations.
+
+Run:  python examples/compare_interconnects.py [nprocs]
+"""
+
+import sys
+
+from repro import get_machine
+from repro.imb import run_benchmark
+
+BENCHES = ("Barrier", "Allreduce", "Alltoall", "Bcast", "Sendrecv")
+MACHINES = ("sx8", "x1_msp", "altix_nl4", "xeon", "opteron")
+MB = 1024 * 1024
+
+
+def main() -> None:
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+
+    header = f"{'benchmark':<12s}" + "".join(
+        f"{get_machine(m).network.name:>18s}" for m in MACHINES
+    )
+    print(f"IMB at 1 MB messages, {nprocs} CPUs (us/call; Sendrecv: MB/s)")
+    print(header)
+    print("-" * len(header))
+    for bench in BENCHES:
+        cells = []
+        for name in MACHINES:
+            machine = get_machine(name)
+            if nprocs > machine.max_cpus:
+                cells.append(f"{'-':>18s}")
+                continue
+            res = run_benchmark(machine, bench, nprocs,
+                                0 if bench == "Barrier" else MB)
+            value = (res.bandwidth_mbs if bench == "Sendrecv"
+                     else res.time_us)
+            cells.append(f"{value:18.1f}")
+        print(f"{bench:<12s}" + "".join(cells))
+
+    print(
+        "\nExpected ordering (paper section 5.2): "
+        "NEC SX-8 > Cray X1 > SGI Altix BX2 > Dell Xeon > Cray Opteron"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The sequel the paper promised: five more architectures (§5.2).
+
+"In the future we plan to ... include five more architectures — Linux
+clusters with different networks, IBM Blue Gene/P, Cray XT4, Cray X1E
+and a cluster of IBM POWER5+."  The sequel was never published; this
+example runs it on the simulator's projected machine models (see
+repro/machine/future.py — constants from public architecture documents,
+NOT calibrated against the paper's measurements).
+
+Run:  python examples/future_systems.py
+"""
+
+from repro import get_machine
+from repro.harness.extended import sequel_study
+from repro.imb import run_benchmark
+from repro.machine.future import FUTURE_MACHINES
+
+MB = 1024 * 1024
+
+
+def balance_table() -> None:
+    print("HPCC balance metrics at 64 CPUs (projections)\n")
+    print(f"{'system':<34s} {'HPL GF/s':>10s} {'eff':>6s} "
+          f"{'ring GB/s':>10s} {'lat us':>8s} {'B/KFlop':>9s}")
+    print("-" * 82)
+    for row in sequel_study(nprocs=64):
+        print(f"{row['label']:<34s} {row['hpl_gflops']:>10.1f} "
+              f"{row['hpl_efficiency'] * 100:>5.1f}% "
+              f"{row['ring_bw_gbs']:>10.3f} {row['ring_latency_us']:>8.1f} "
+              f"{row['b_per_kflop']:>9.1f}")
+
+
+def alltoall_next_to_2005() -> None:
+    print("\nIMB Alltoall, 1 MB, 32 CPUs: 2005 testbed vs the sequel set\n")
+    machines = [get_machine("sx8"), get_machine("xeon"),
+                get_machine("opteron")] + list(FUTURE_MACHINES)
+    rows = []
+    for m in machines:
+        if m.max_cpus < 32:
+            continue
+        rows.append((m.label, run_benchmark(m, "Alltoall", 32, MB).time_us))
+    for label, t in sorted(rows, key=lambda r: r[1]):
+        print(f"{label:<36s} {t:>12.0f} us/call")
+
+
+def main() -> None:
+    balance_table()
+    alltoall_next_to_2005()
+    print(
+        "\nReading: the torus machines (BG/P, XT4) trade per-link speed "
+        "for scalable wiring; the GigE cluster shows why none of the "
+        "paper's five systems used commodity Ethernet."
+    )
+
+
+if __name__ == "__main__":
+    main()

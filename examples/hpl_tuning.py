@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""HPL.dat tuning on a simulated machine: panel width and grid shape.
+
+Anyone who has run LINPACK knows the ritual: sweep NB and the P x Q
+process grid until the Gflop/s stop improving.  The message-accurate
+HPL skeleton makes the ritual free — every configuration is one
+deterministic simulation.
+
+Run:  python examples/hpl_tuning.py
+"""
+
+from repro import get_machine
+from repro.hpcc import HPLConfig, run_hpl
+
+MACHINE = "xeon"
+NPROCS = 64
+N = 16384
+
+
+def sweep_nb() -> None:
+    print(f"Panel width sweep on {NPROCS} CPUs, N={N} "
+          "(near-square grid):\n")
+    print(f"{'NB':>6s} {'GFlop/s':>10s} {'efficiency':>12s}")
+    machine = get_machine(MACHINE)
+    for nb in (32, 64, 128, 256, 512, 1024):
+        res = run_hpl(machine, NPROCS, HPLConfig(n=N, nb=nb),
+                      mode="skeleton")
+        print(f"{nb:>6d} {res.gflops:>10.1f} {res.efficiency * 100:>11.1f}%")
+
+
+def sweep_grid() -> None:
+    print(f"\nProcess grid sweep on {NPROCS} CPUs, N={N}, NB=256:\n")
+    print(f"{'P x Q':>8s} {'GFlop/s':>10s} {'efficiency':>12s}")
+    machine = get_machine(MACHINE)
+    for pr, pc in ((1, 64), (2, 32), (4, 16), (8, 8), (16, 4), (64, 1)):
+        res = run_hpl(machine, NPROCS,
+                      HPLConfig(n=N, nb=256, grid=(pr, pc)),
+                      mode="skeleton")
+        print(f"{pr:>3d}x{pc:<4d} {res.gflops:>10.1f} "
+              f"{res.efficiency * 100:>11.1f}%")
+
+
+def main() -> None:
+    sweep_nb()
+    sweep_grid()
+    print(
+        "\nThe familiar HPL folklore drops out of the simulation: huge "
+        "panels serialise the factorisation and starve the update, flat "
+        "1 x Q grids broadcast every panel to every process, and the "
+        "near-square grids sit at the top of the table."
+    )
+
+
+if __name__ == "__main__":
+    main()

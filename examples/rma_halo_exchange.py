@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""One-sided halo exchange: the paper's future-work item, working.
+
+A 1-D domain decomposition exchanges boundary strips ("halos") every
+step — the Exchange pattern from IMB (§3.2.2), reimplemented with MPI-2
+one-sided Put + fence, the mode the paper planned to measure next (§5.2).
+On InfiniBand the puts ride RDMA and never touch the target CPU.
+
+Run:  python examples/rma_halo_exchange.py
+"""
+
+import numpy as np
+
+from repro import Cluster, get_machine
+from repro.mpi.onesided import win_create
+
+STEPS = 4
+INTERIOR = 1 << 14   # interior cells per rank
+HALO = 1 << 10       # halo strip (elements)
+
+
+def halo_exchange_rma(comm):
+    """Jacobi-style sweep: compute interior, put halos, fence, repeat."""
+    left = (comm.rank - 1) % comm.size
+    right = (comm.rank + 1) % comm.size
+    # window layout: [left halo | right halo]
+    win = yield from win_create(comm, 2 * HALO)
+    field = np.full(INTERIOR, float(comm.rank))
+    yield from win.fence()
+
+    t0 = comm.now
+    for step in range(STEPS):
+        # interior update (roofline-charged virtual compute)
+        yield from comm.compute(flops=5.0 * INTERIOR,
+                                nbytes=16.0 * INTERIOR,
+                                kernel="stream_triad")
+        # expose my boundary strips in the neighbours' windows
+        win.put(left, field[:HALO], offset=HALO)       # their right halo
+        win.put(right, field[-HALO:], offset=0)        # their left halo
+        yield from win.fence()
+        if step == 0:
+            # first sweep: halos must hold the neighbours' initial values
+            assert win.buffer[0] == float(left)
+            assert win.buffer[HALO] == float(right)
+        field[0] = win.buffer[:HALO].mean()
+        field[-1] = win.buffer[HALO:].mean()
+    return (comm.now - t0) / STEPS
+
+
+def main() -> None:
+    print(f"RMA halo exchange, {INTERIOR} interior cells, "
+          f"{HALO}-element halos, {STEPS} steps\n")
+    for name in ("xeon", "sx8", "opteron"):
+        machine = get_machine(name)
+        for nprocs in (8, 32):
+            res = Cluster(machine, nprocs).run(halo_exchange_rma)
+            per_step = max(res.results) * 1e6
+            print(f"{machine.label:24s} P={nprocs:3d}  "
+                  f"{per_step:9.1f} us/step")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP-517 editable installs fail; this shim lets ``pip install -e .`` fall
+back to ``setup.py develop``.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Simulated reproduction of 'Performance evaluation of "
+        "supercomputers using HPCC and IMB Benchmarks' (Saini et al.)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

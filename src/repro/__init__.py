@@ -1,0 +1,92 @@
+"""repro — a simulated reproduction of Saini et al., "Performance
+evaluation of supercomputers using HPCC and IMB Benchmarks".
+
+The package provides:
+
+* :mod:`repro.core` — a deterministic discrete-event engine;
+* :mod:`repro.network` — interconnect topologies and the contention model;
+* :mod:`repro.machine` — models of the paper's five platforms;
+* :mod:`repro.mpi` — a simulated MPI (point-to-point + collectives);
+* :mod:`repro.hpcc` — the HPC Challenge benchmark suite;
+* :mod:`repro.imb` — the Intel MPI Benchmarks;
+* :mod:`repro.analysis` — the paper's ratio-based analysis;
+* :mod:`repro.harness` — regeneration of every table and figure.
+
+Quickstart::
+
+    from repro import Cluster, get_machine
+
+    def hello(comm):
+        peers = yield from comm.allgather(comm.rank, nbytes=8)
+        return peers
+
+    res = Cluster(get_machine("sx8"), nprocs=8).run(hello)
+    print(res.elapsed_us, res.results[0])
+"""
+
+from .core import (
+    BenchmarkError,
+    ConfigError,
+    DeadlockError,
+    Engine,
+    MPIError,
+    ReproError,
+    SimulationError,
+    Tracer,
+)
+from .machine import (
+    ALL_MACHINES,
+    MACHINES,
+    PAPER_FIVE,
+    MachineSpec,
+    NetworkSpec,
+    NodeSpec,
+    ProcessorSpec,
+    get_machine,
+)
+from .mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BXOR,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    Cluster,
+    Comm,
+    Op,
+    RunResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Cluster",
+    "Comm",
+    "RunResult",
+    "Engine",
+    "Tracer",
+    "MachineSpec",
+    "ProcessorSpec",
+    "NodeSpec",
+    "NetworkSpec",
+    "get_machine",
+    "MACHINES",
+    "PAPER_FIVE",
+    "ALL_MACHINES",
+    "Op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "BXOR",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "MPIError",
+    "ConfigError",
+    "BenchmarkError",
+]

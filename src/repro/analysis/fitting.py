@@ -1,0 +1,95 @@
+"""Fit LogGP-style parameters from measured ping-pong sweeps.
+
+Closes the loop on the model: treat the simulator the way a performance
+engineer treats a real machine — run a message-size ladder, regress
+
+    t(n) = L_eff + n / B_eff
+
+and compare the fitted latency/bandwidth against the machine's
+configured constants.  ``tests/test_fitting.py`` asserts the round trip
+recovers the catalog values, which is a strong end-to-end check that no
+hidden cost leaks into the transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class LogGPFit:
+    machine: str
+    intra_node: bool
+    latency_us: float        # fitted zero-byte one-way time
+    bandwidth_gbs: float     # fitted asymptotic bandwidth
+    r_squared: float
+    sizes: tuple[int, ...]
+    times_us: tuple[float, ...]
+
+    @property
+    def n_half(self) -> float:
+        """Half-performance message size: n where t = 2 * latency."""
+        return self.latency_us * 1e-6 * self.bandwidth_gbs * 1e9
+
+
+def measure_one_way(machine: MachineSpec, nbytes: int,
+                    intra_node: bool = False) -> float:
+    """One-way transfer time between two ranks (seconds)."""
+    partner = 1 if intra_node else machine.node.cpus  # first off-node rank
+    nprocs = max(2, partner + 1)
+
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send(partner, nbytes=nbytes)
+        elif comm.rank == partner:
+            yield from comm.recv(0)
+            return comm.now
+
+    return Cluster(machine, nprocs).run(prog).results[partner]
+
+
+def fit_loggp(machine: MachineSpec, intra_node: bool = False,
+              sizes: tuple[int, ...] = (0, 64, 1024, 16384, 262144,
+                                        1 << 20, 4 << 20)) -> LogGPFit:
+    """Regress t(n) = L + n/B over a size ladder."""
+    times = np.array([measure_one_way(machine, s, intra_node)
+                      for s in sizes])
+    n = np.array(sizes, dtype=float)
+    # least squares for [L, 1/B]
+    a = np.stack([np.ones_like(n), n], axis=1)
+    (lat, inv_bw), res, _rank, _sv = np.linalg.lstsq(a, times, rcond=None)
+    pred = a @ np.array([lat, inv_bw])
+    ss_tot = float(np.sum((times - times.mean()) ** 2))
+    r2 = 1.0 - float(np.sum((times - pred) ** 2)) / ss_tot if ss_tot else 1.0
+    return LogGPFit(
+        machine=machine.name,
+        intra_node=intra_node,
+        latency_us=float(lat) * 1e6,
+        bandwidth_gbs=(1.0 / float(inv_bw)) / 1e9 if inv_bw > 0 else float("inf"),
+        r_squared=r2,
+        sizes=tuple(sizes),
+        times_us=tuple(float(t) * 1e6 for t in times),
+    )
+
+
+def fit_report(machine: MachineSpec) -> str:
+    """Human-readable inter/intra fits next to the configured constants."""
+    inter = fit_loggp(machine, intra_node=False)
+    intra = fit_loggp(machine, intra_node=True)
+    params = machine.fabric_params()
+    lines = [
+        f"LogGP fit for {machine.label}",
+        f"  inter-node: L = {inter.latency_us:.2f} us, "
+        f"B = {inter.bandwidth_gbs:.2f} GB/s (R^2 {inter.r_squared:.4f}); "
+        f"configured burst {params.effective_point_bw / 1e9:.2f} GB/s",
+        f"  intra-node: L = {intra.latency_us:.2f} us, "
+        f"B = {intra.bandwidth_gbs:.2f} GB/s (R^2 {intra.r_squared:.4f}); "
+        f"configured flow {params.shm_flow_bw / 1e9:.2f} GB/s",
+        f"  n_1/2 (inter) = {inter.n_half / 1024:.1f} KiB",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Scaling-series helpers for the balance figures (Figs 1-4).
+
+A *balance series* pairs each CPU count with the system's HPL performance
+(x-axis) and an accumulated quantity or its HPL ratio (y-axis) — the
+paper plots everything against HPL Tflop/s rather than CPU count so
+differently-sized systems land on one chart.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    cpus: int
+    hpl_tflops: float
+    value: float
+
+
+@dataclass(frozen=True)
+class ScalingSeries:
+    machine: str
+    label: str
+    points: tuple[ScalingPoint, ...]
+
+    def xy(self, x: str = "hpl_tflops") -> tuple[list[float], list[float]]:
+        xs = [getattr(p, x) for p in self.points]
+        ys = [p.value for p in self.points]
+        return xs, ys
+
+    @property
+    def final(self) -> ScalingPoint:
+        return self.points[-1]
+
+
+def build_series(
+    machine_label: str,
+    machine_name: str,
+    cpu_counts: Sequence[int],
+    hpl_fn: Callable[[int], float],
+    value_fn: Callable[[int, float], float],
+) -> ScalingSeries:
+    """Evaluate ``value_fn(cpus, hpl_tflops)`` over a CPU sweep."""
+    pts = []
+    for p in cpu_counts:
+        hpl = hpl_fn(p)
+        pts.append(ScalingPoint(cpus=p, hpl_tflops=hpl,
+                                value=value_fn(p, hpl)))
+    return ScalingSeries(machine=machine_name, label=machine_label,
+                         points=tuple(pts))
+
+
+def ratio_series(series: ScalingSeries, scale: float = 1.0,
+                 label_suffix: str = " (ratio)") -> ScalingSeries:
+    """Divide each value by its HPL Gflop/s (the Figs 2/4 transform)."""
+    pts = tuple(
+        ScalingPoint(
+            cpus=p.cpus,
+            hpl_tflops=p.hpl_tflops,
+            value=scale * p.value / (p.hpl_tflops * 1e3)
+            if p.hpl_tflops else float("nan"),
+        )
+        for p in series.points
+    )
+    return ScalingSeries(machine=series.machine,
+                         label=series.label + label_suffix, points=pts)

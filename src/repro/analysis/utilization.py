@@ -1,0 +1,106 @@
+"""Post-run analysis of traced executions.
+
+Turns a :class:`~repro.core.trace.Tracer` into the quantities a
+performance engineer asks for after a run: per-resource utilisation, the
+rank-to-rank communication matrix, message-size histograms and
+inter-/intra-node traffic splits.  Used by the topology ablation bench
+and handy for interactive work::
+
+    cluster = Cluster(machine, 64, trace=True)
+    cluster.run(program)
+    report = utilization_report(cluster)
+    print(format_report(report))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.trace import Tracer
+from ..mpi.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    elapsed: float
+    message_count: int
+    total_bytes: int
+    inter_node_bytes: int
+    intra_node_fraction: float          # of bytes
+    egress_utilization: dict[int, float]   # node -> busy/elapsed
+    core_utilization: dict[int, float]     # level -> busy/elapsed
+    compute_fraction: dict[int, float]     # rank -> compute busy/elapsed
+    comm_matrix: np.ndarray                # bytes sent [src][dst]
+
+
+def comm_matrix(tracer: Tracer, nprocs: int) -> np.ndarray:
+    """Bytes sent from each rank to each rank."""
+    mat = np.zeros((nprocs, nprocs))
+    for m in tracer.messages:
+        mat[m.src, m.dst] += m.nbytes
+    return mat
+
+
+def message_size_histogram(tracer: Tracer) -> dict[int, int]:
+    """Message count per power-of-two size bucket (key = bucket floor)."""
+    hist: dict[int, int] = {}
+    for m in tracer.messages:
+        bucket = 0 if m.nbytes == 0 else 1 << (int(m.nbytes).bit_length() - 1)
+        hist[bucket] = hist.get(bucket, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def utilization_report(cluster: Cluster) -> UtilizationReport:
+    """Build the full report from a traced cluster run."""
+    tracer = cluster.tracer
+    fabric = cluster.fabric
+    elapsed = cluster.engine.now if cluster.engine else 0.0
+    if elapsed <= 0:
+        elapsed = 1e-30
+    total = tracer.total_bytes
+    inter = tracer.inter_node_bytes
+    egress = {
+        node: fabric.egress_resource(node).busy_time / elapsed
+        for node in range(fabric.n_nodes)
+    }
+    core = {
+        level: fabric.core_resource(level).busy_time / elapsed
+        for level in range(1, fabric.topology.n_levels + 1)
+    }
+    compute = {
+        rank: tracer.compute_time(rank) / elapsed
+        for rank in range(cluster.nprocs)
+    }
+    return UtilizationReport(
+        elapsed=elapsed,
+        message_count=tracer.message_count,
+        total_bytes=total,
+        inter_node_bytes=inter,
+        intra_node_fraction=(1.0 - inter / total) if total else 0.0,
+        egress_utilization=egress,
+        core_utilization=core,
+        compute_fraction=compute,
+        comm_matrix=comm_matrix(tracer, cluster.nprocs),
+    )
+
+
+def format_report(report: UtilizationReport, top: int = 4) -> str:
+    """Human-readable rendering of a :class:`UtilizationReport`."""
+    lines = [
+        f"elapsed:            {report.elapsed * 1e6:.1f} us",
+        f"messages:           {report.message_count}",
+        f"bytes on the wire:  {report.total_bytes / 1e6:.2f} MB "
+        f"({report.intra_node_fraction * 100:.0f}% intra-node)",
+    ]
+    busiest = sorted(report.egress_utilization.items(),
+                     key=lambda kv: -kv[1])[:top]
+    lines.append("busiest NICs:       " + ", ".join(
+        f"node {n}: {u * 100:.0f}%" for n, u in busiest))
+    for level, u in report.core_utilization.items():
+        lines.append(f"core level {level}:       {u * 100:.1f}% busy")
+    if report.compute_fraction:
+        avg = float(np.mean(list(report.compute_fraction.values())))
+        lines.append(f"compute fraction:   {avg * 100:.1f}% (mean over ranks)")
+    return "\n".join(lines)

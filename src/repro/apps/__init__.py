@@ -1,0 +1,41 @@
+"""Proxy applications: the paper's thesis, executable.
+
+Section 1 claims "Performance of any real world application is bounded
+by the performance of these four HPCC Benchmarks".  These miniature
+applications let the library test that statement inside the model:
+
+* :mod:`~repro.apps.cg` — conjugate gradient (STREAM + tiny allreduces,
+  numerically real);
+* :mod:`~repro.apps.spectral` — pseudo-spectral stepping
+  (alltoall-bound, the G-FFT/Fig 12 regime);
+* :mod:`~repro.apps.amr_exchange` — ghost-layer exchange CFD
+  (the IMB Exchange pattern).
+
+``benchmarks/test_apps_thesis.py`` checks each proxy's cross-machine
+ordering against the benchmark class it stresses.
+"""
+
+from .amr_exchange import AMRConfig, AMRResult, amr_program, run_amr
+from .cg import CGConfig, CGResult, cg_program, reference_solution, run_cg
+from .spectral import (
+    SpectralConfig,
+    SpectralResult,
+    run_spectral,
+    spectral_program,
+)
+
+__all__ = [
+    "CGConfig",
+    "CGResult",
+    "cg_program",
+    "run_cg",
+    "reference_solution",
+    "SpectralConfig",
+    "SpectralResult",
+    "spectral_program",
+    "run_spectral",
+    "AMRConfig",
+    "AMRResult",
+    "amr_program",
+    "run_amr",
+]

@@ -1,0 +1,162 @@
+"""Distributed conjugate-gradient proxy application.
+
+The paper's thesis is that real applications are bounded by the four
+HPCC locality classes (§1).  CG is the canonical "low temporal, high
+spatial locality + latency-bound reductions" application: each iteration
+is one sparse matrix-vector product (halo exchange + streaming compute),
+two global dot products (tiny allreduces) and three vector updates.
+
+This implementation is *numerically real*: it solves the 1-D Poisson
+system ``-u'' = f`` (tridiagonal, SPD) distributed block-wise, with
+1-element halo exchanges — the test suite checks the solution against
+``numpy.linalg.solve``.  Virtual time comes from the same model as every
+benchmark, so the app's machine ordering can be compared against the
+HPCC/IMB orderings (see ``benchmarks/test_apps_thesis.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import BenchmarkError
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+from ..mpi.datatypes import SUM
+
+
+@dataclass(frozen=True)
+class CGConfig:
+    n_local: int = 5000        # unknowns per rank
+    iterations: int = 50       # fixed iteration count (timing mode)
+    tol: float = 1e-10         # convergence tolerance (validate mode)
+    validate: bool = False
+
+
+@dataclass(frozen=True)
+class CGResult:
+    elapsed: float
+    iterations: int
+    residual: float
+    comm_fraction: float
+    nprocs: int
+
+    @property
+    def time_per_iteration_us(self) -> float:
+        return self.elapsed / max(self.iterations, 1) * 1e6
+
+
+def _halo_exchange(comm, left_val: float, right_val: float, step: int):
+    """Exchange one 8-byte halo value with each neighbour (non-periodic)."""
+    rank, size = comm.rank, comm.size
+    reqs = []
+    if rank > 0:
+        reqs.append(comm.irecv(rank - 1, tag=2 * step))
+        reqs.append(comm.isend(rank - 1, data=left_val, nbytes=8,
+                               tag=2 * step + 1))
+    if rank < size - 1:
+        reqs.append(comm.irecv(rank + 1, tag=2 * step + 1))
+        reqs.append(comm.isend(rank + 1, data=right_val, nbytes=8,
+                               tag=2 * step))
+    results = yield from comm.waitall(reqs)
+    lo = hi = 0.0
+    for r in results:
+        if r is None or not hasattr(r, "source"):
+            continue
+        if r.source == rank - 1:
+            lo = r.data
+        elif r.source == rank + 1:
+            hi = r.data
+    return lo, hi
+
+
+def cg_program(comm, cfg: CGConfig):
+    """Rank program; returns (elapsed, iterations, residual, comm_time)."""
+    n = cfg.n_local
+    if n < 2:
+        raise BenchmarkError("CG needs at least 2 unknowns per rank")
+    rank, size = comm.rank, comm.size
+    total = n * size
+
+    # -u'' = f with u(x) = sin(pi x) on [0, 1]: A = tridiag(-1, 2, -1)/h^2
+    h = 1.0 / (total + 1)
+    xs = (np.arange(rank * n, (rank + 1) * n) + 1) * h
+    f = (np.pi ** 2) * np.sin(np.pi * xs)
+
+    x = np.zeros(n)
+    r = f * (h * h)            # b for the scaled system A~ = tridiag(-1,2,-1)
+    p = r.copy()
+    rs_old_arr = yield from comm.allreduce(np.array([float(r @ r)]), op=SUM)
+    rs_old = float(rs_old_arr[0])
+
+    comm_time = 0.0
+    t_start = comm.now
+    it = 0
+    max_it = cfg.iterations if not cfg.validate else 10 * total
+    while it < max_it:
+        it += 1
+        # SpMV: Ap = 2 p_i - p_{i-1} - p_{i+1} with halos from neighbours
+        tc = comm.now
+        lo, hi = yield from _halo_exchange(comm, float(p[0]), float(p[-1]),
+                                           it)
+        comm_time += comm.now - tc
+        yield from comm.compute(flops=3.0 * n, nbytes=24.0 * n,
+                                kernel="stream_triad")
+        ap = 2.0 * p
+        ap[:-1] -= p[1:]
+        ap[1:] -= p[:-1]
+        ap[0] -= lo
+        ap[-1] -= hi
+
+        tc = comm.now
+        p_ap_arr = yield from comm.allreduce(np.array([float(p @ ap)]),
+                                             op=SUM)
+        comm_time += comm.now - tc
+        alpha = rs_old / float(p_ap_arr[0])
+        yield from comm.compute(flops=4.0 * n, nbytes=48.0 * n,
+                                kernel="stream_triad")
+        x += alpha * p
+        r -= alpha * ap
+
+        tc = comm.now
+        rs_arr = yield from comm.allreduce(np.array([float(r @ r)]), op=SUM)
+        comm_time += comm.now - tc
+        rs_new = float(rs_arr[0])
+        if cfg.validate and np.sqrt(rs_new) < cfg.tol:
+            rs_old = rs_new
+            break
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+
+    elapsed = comm.now - t_start
+    residual = float(np.sqrt(rs_old))
+    return elapsed, it, residual, comm_time, x
+
+
+def run_cg(machine: MachineSpec, nprocs: int,
+           cfg: CGConfig | None = None) -> CGResult:
+    cfg = cfg or CGConfig()
+    cluster = Cluster(machine, nprocs)
+    out = cluster.run(cg_program, cfg)
+    elapsed = max(r[0] for r in out.results)
+    comm_time = max(r[3] for r in out.results)
+    return CGResult(
+        elapsed=elapsed,
+        iterations=out.results[0][1],
+        residual=out.results[0][2],
+        comm_fraction=comm_time / elapsed if elapsed else 0.0,
+        nprocs=nprocs,
+    )
+
+
+def reference_solution(nprocs: int, cfg: CGConfig) -> np.ndarray:
+    """Direct solve of the same system for validation."""
+    total = cfg.n_local * nprocs
+    a = (np.diag(np.full(total, 2.0))
+         + np.diag(np.full(total - 1, -1.0), 1)
+         + np.diag(np.full(total - 1, -1.0), -1))
+    h = 1.0 / (total + 1)
+    xs = (np.arange(total) + 1) * h
+    b = (np.pi ** 2) * np.sin(np.pi * xs) * h * h
+    return np.linalg.solve(a, b)

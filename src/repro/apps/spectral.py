@@ -1,0 +1,88 @@
+"""Spectral-method proxy application (alltoall-bound).
+
+The paper motivates MPI_Alltoall with "spectral methods, signal
+processing and climate modeling using Fast Fourier Transforms"
+(§3.2.3).  This proxy runs a pseudo-spectral time-stepping loop: each
+step is a forward distributed FFT, a pointwise operator in spectral
+space, and an inverse FFT — i.e. six alltoall transposes per step plus
+vector compute, the communication signature of a climate dynamical
+core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import BenchmarkError
+from ..hpcc.fft import fft_flops
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class SpectralConfig:
+    total_elements: int = 1 << 18   # global grid points
+    steps: int = 4                  # time steps
+
+
+@dataclass(frozen=True)
+class SpectralResult:
+    elapsed: float
+    steps: int
+    comm_fraction: float
+    nprocs: int
+
+    @property
+    def time_per_step_us(self) -> float:
+        return self.elapsed / max(self.steps, 1) * 1e6
+
+
+def spectral_program(comm, cfg: SpectralConfig):
+    p = comm.size
+    n = cfg.total_elements
+    if n % (p * p):
+        raise BenchmarkError(
+            f"grid {n} must be divisible by nprocs^2 ({p}^2)"
+        )
+    n_local = n // p
+    chunk_bytes = 16 * (n_local // p)
+
+    def transform():
+        # one distributed FFT: 3 transposes + 2 butterfly stages + twiddle
+        nonlocal comm_time
+        for _ in range(3):
+            tc = comm.now
+            yield from comm.alltoall(nbytes=chunk_bytes)
+            comm_time += comm.now - tc
+        for _ in range(2):
+            yield from comm.compute(flops=fft_flops(n_local),
+                                    nbytes=32.0 * n_local, kernel="fft")
+        yield from comm.compute(flops=6.0 * n_local, nbytes=32.0 * n_local,
+                                kernel="fft")
+
+    comm_time = 0.0
+    yield from comm.barrier()
+    t0 = comm.now
+    for _step in range(cfg.steps):
+        yield from transform()                     # forward
+        yield from comm.compute(flops=2.0 * n_local,
+                                nbytes=32.0 * n_local,
+                                kernel="stream_triad")  # spectral operator
+        yield from transform()                     # inverse
+    elapsed = comm.now - t0
+    return elapsed, comm_time
+
+
+def run_spectral(machine: MachineSpec, nprocs: int,
+                 cfg: SpectralConfig | None = None) -> SpectralResult:
+    cfg = cfg or SpectralConfig()
+    cluster = Cluster(machine, nprocs)
+    out = cluster.run(spectral_program, cfg)
+    elapsed = max(r[0] for r in out.results)
+    comm_time = max(r[1] for r in out.results)
+    return SpectralResult(
+        elapsed=elapsed,
+        steps=cfg.steps,
+        comm_fraction=comm_time / elapsed if elapsed else 0.0,
+        nprocs=nprocs,
+    )

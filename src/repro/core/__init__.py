@@ -1,0 +1,39 @@
+"""Discrete-event simulation core: engine, events, processes, tracing."""
+
+from .engine import Engine, Event, Process, ProcessGen, wait_all
+from .errors import (
+    BenchmarkError,
+    ConfigError,
+    DeadlockError,
+    MPIError,
+    ReproError,
+    SimulationError,
+    TruncationError,
+)
+from .rng import DEFAULT_SEED, make_rng, random_derangement_ring, spawn_rngs
+from .trace import NULL_TRACER, ComputeRecord, MessageRecord, Tracer
+from . import units
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "ProcessGen",
+    "wait_all",
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "MPIError",
+    "TruncationError",
+    "ConfigError",
+    "BenchmarkError",
+    "DEFAULT_SEED",
+    "make_rng",
+    "spawn_rngs",
+    "random_derangement_ring",
+    "Tracer",
+    "MessageRecord",
+    "ComputeRecord",
+    "NULL_TRACER",
+    "units",
+]

@@ -1,0 +1,232 @@
+"""Discrete-event simulation engine.
+
+The engine owns a virtual clock and a priority queue of scheduled
+callbacks.  Simulated activities (MPI ranks, benchmark drivers) are Python
+*generator processes* in the SimPy style: a process is a generator that
+``yield``\\ s one of
+
+* a ``float``/``int`` — sleep for that many virtual seconds,
+* an :class:`Event` — block until the event is triggered; the value passed
+  to :meth:`Event.trigger` becomes the result of the ``yield`` expression,
+* another :class:`Process` — block until that process finishes (join);
+  the child's return value becomes the result of the ``yield``,
+* ``None`` — yield control and resume at the same virtual time (a
+  cooperative re-schedule).
+
+Processes compose with plain ``yield from`` so higher layers (collectives,
+benchmarks) read like straight-line MPI code.
+
+The engine is single-threaded and fully deterministic: ties in the event
+queue are broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+from .errors import DeadlockError, SimulationError
+
+#: Type alias for process generators.
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Event:
+    """A one-shot latching event that processes can wait on.
+
+    Once triggered the event stays triggered; waiting on a triggered event
+    resumes the waiter immediately (at the current virtual time) with the
+    stored value.  This latch behaviour is what makes sequential waits on a
+    list of events ("waitall") correct.
+    """
+
+    __slots__ = ("engine", "name", "_triggered", "_value", "_waiters")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list[Process] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has not been triggered")
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking all current and future waiters."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine.schedule(0.0, proc._step, value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._triggered:
+            self.engine.schedule(0.0, proc._step, self._value)
+        else:
+            self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "set" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Process:
+    """A running generator process.
+
+    A ``Process`` is itself awaitable (another process may ``yield`` it to
+    join on completion and receive its return value).
+    """
+
+    __slots__ = ("engine", "gen", "name", "done", "_started")
+
+    def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                f"process body must be a generator, got {type(gen).__name__}; "
+                "did you forget a yield?"
+            )
+        self.engine = engine
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Event(engine, name=f"{self.name}.done")
+        self._started = False
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+    def _start(self) -> None:
+        if self._started:
+            raise SimulationError(f"process {self.name!r} started twice")
+        self._started = True
+        self.engine.schedule(0.0, self._step, None)
+
+    def _step(self, value: Any) -> None:
+        """Advance the generator by one yield."""
+        engine = self.engine
+        try:
+            item = self.gen.send(value)
+        except StopIteration as stop:
+            engine._live_processes.discard(self)
+            self.done.trigger(stop.value)
+            return
+        except Exception:
+            engine._live_processes.discard(self)
+            raise
+        if item is None:
+            engine.schedule(0.0, self._step, None)
+        elif isinstance(item, (int, float)):
+            if item < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {item!r}"
+                )
+            engine.schedule(float(item), self._step, None)
+        elif isinstance(item, Event):
+            item._add_waiter(self)
+        elif isinstance(item, Process):
+            item.done._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {item!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else "live"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Engine:
+    """The discrete-event scheduler and virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._counter = itertools.count()
+        self._live_processes: set[Process] = set()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), fn, args))
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Register a generator as a process and schedule its first step."""
+        proc = Process(self, gen, name=name)
+        self._live_processes.add(proc)
+        proc._start()
+        return proc
+
+    def run(self, until: float | None = None) -> float:
+        """Run the event loop.
+
+        Runs until the queue drains or virtual time would pass ``until``.
+        Returns the final virtual time.  Raises :class:`DeadlockError` if
+        the queue drains while spawned processes are still unfinished.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                t, _seq, fn, args = self._heap[0]
+                if until is not None and t > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._heap)
+                self._now = t
+                fn(*args)
+            if self._live_processes:
+                stuck = sorted(p.name for p in self._live_processes)
+                raise DeadlockError(
+                    "event queue drained with blocked processes: "
+                    + ", ".join(stuck[:16])
+                    + ("..." if len(stuck) > 16 else "")
+                )
+            return self._now
+        finally:
+            self._running = False
+
+    def run_all(self, gens: Iterable[ProcessGen]) -> list[Any]:
+        """Spawn each generator, run to completion, return their results."""
+        procs = [self.spawn(g, name=f"proc{i}") for i, g in enumerate(gens)]
+        self.run()
+        return [p.result for p in procs]
+
+
+def wait_all(events: Iterable[Event | Process]) -> ProcessGen:
+    """Process helper: wait for every event/process, return their values.
+
+    Because events latch, waiting sequentially is equivalent to waiting
+    concurrently; completion time is the max over all events.
+    """
+    results = []
+    for ev in events:
+        results.append((yield ev))
+    return results

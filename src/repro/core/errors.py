@@ -1,0 +1,36 @@
+"""Exception hierarchy for the simulator."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Raised for malformed use of the discrete-event engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still blocked.
+
+    This is the simulated analogue of an MPI hang: e.g. a ``recv`` whose
+    matching ``send`` never arrives.  The message lists the stuck processes
+    to aid debugging.
+    """
+
+
+class MPIError(ReproError):
+    """Raised for incorrect MPI-level usage (bad rank, size mismatch...)."""
+
+
+class TruncationError(MPIError):
+    """Raised when a received message is larger than the posted buffer."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid machine/network configuration."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark is invoked with unusable parameters."""

@@ -1,0 +1,85 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` can be attached to a cluster to record message transfers
+and compute phases.  It is used by tests (to assert on communication
+structure, e.g. "binomial bcast sends exactly P-1 messages") and by the
+analysis layer (aggregate bytes on the wire, link utilisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One point-to-point message as seen on the network."""
+
+    src: int          # sending rank
+    dst: int          # receiving rank
+    nbytes: int       # logical payload size
+    tag: int
+    t_inject: float   # virtual time the sender handed it to the NIC
+    t_deliver: float  # virtual time it arrived at the receiver
+    intra_node: bool  # True if both ranks share an SMP node
+
+
+@dataclass(frozen=True)
+class ComputeRecord:
+    """One compute phase charged to a rank."""
+
+    rank: int
+    flops: float
+    bytes_moved: float
+    kernel: str
+    t_start: float
+    t_end: float
+
+
+@dataclass
+class Tracer:
+    """Accumulates trace records.  Disabled tracers cost one branch."""
+
+    enabled: bool = True
+    messages: list[MessageRecord] = field(default_factory=list)
+    computes: list[ComputeRecord] = field(default_factory=list)
+
+    def record_message(self, rec: MessageRecord) -> None:
+        if self.enabled:
+            self.messages.append(rec)
+
+    def record_compute(self, rec: ComputeRecord) -> None:
+        if self.enabled:
+            self.computes.append(rec)
+
+    def clear(self) -> None:
+        self.messages.clear()
+        self.computes.clear()
+
+    # -- aggregate views used by tests/analysis ------------------------------
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+    @property
+    def inter_node_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages if not m.intra_node)
+
+    def messages_between(self, src: int, dst: int) -> list[MessageRecord]:
+        return [m for m in self.messages if m.src == src and m.dst == dst]
+
+    def compute_time(self, rank: int | None = None) -> float:
+        return sum(
+            c.t_end - c.t_start
+            for c in self.computes
+            if rank is None or c.rank == rank
+        )
+
+
+#: A shared no-op tracer for when tracing is off.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,83 @@
+"""Unit constants and formatting helpers.
+
+Conventions used throughout the library:
+
+* **time** is kept in seconds (floats).  Reported figures use microseconds
+  (``us``) to match the paper's plots.
+* **bandwidth** is kept in bytes/second.  Vendor bandwidth figures (GB/s,
+  MB/s) are decimal (1 GB/s = 1e9 B/s), matching how the paper quotes them.
+* **message sizes** follow IMB conventions and are binary (1 MB message =
+  ``2**20`` bytes).
+* **compute rates** are kept in flop/s; ``GFLOP`` etc. are decimal.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+US = 1e-6
+MS = 1e-3
+SEC = 1.0
+
+# --- sizes (binary, used for message/working-set sizes) ---------------------
+KIB = 1024
+MIB = 1024 ** 2
+GIB = 1024 ** 3
+
+# --- rates (decimal, used for bandwidths and compute rates) -----------------
+KB_S = 1e3
+MB_S = 1e6
+GB_S = 1e9
+
+KFLOP = 1e3
+MFLOP = 1e6
+GFLOP = 1e9
+TFLOP = 1e12
+
+
+def seconds_to_us(t: float) -> float:
+    """Convert seconds to microseconds."""
+    return t / US
+
+
+def us_to_seconds(t: float) -> float:
+    """Convert microseconds to seconds."""
+    return t * US
+
+
+def fmt_time(t: float) -> str:
+    """Render a duration with an adaptive unit, e.g. ``'3.42 us'``."""
+    if t == 0:
+        return "0 s"
+    at = abs(t)
+    if at < 1e-6:
+        return f"{t * 1e9:.3g} ns"
+    if at < 1e-3:
+        return f"{t * 1e6:.4g} us"
+    if at < 1.0:
+        return f"{t * 1e3:.4g} ms"
+    return f"{t:.4g} s"
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with an adaptive binary unit."""
+    n = float(n)
+    for unit, div in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= div:
+            return f"{n / div:.4g} {unit}"
+    return f"{n:.4g} B"
+
+
+def fmt_bandwidth(bps: float) -> str:
+    """Render a bandwidth (bytes/s) with an adaptive decimal unit."""
+    for unit, div in (("GB/s", GB_S), ("MB/s", MB_S), ("KB/s", KB_S)):
+        if abs(bps) >= div:
+            return f"{bps / div:.4g} {unit}"
+    return f"{bps:.4g} B/s"
+
+
+def fmt_flops(fps: float) -> str:
+    """Render a compute rate (flop/s) with an adaptive decimal unit."""
+    for unit, div in (("TF/s", TFLOP), ("GF/s", GFLOP), ("MF/s", MFLOP)):
+        if abs(fps) >= div:
+            return f"{fps / div:.4g} {unit}"
+    return f"{fps:.4g} F/s"

@@ -1,0 +1,69 @@
+"""Experiment harness: regenerate the paper's tables and figures."""
+
+from .figures import (
+    ALL_FIGURES,
+    FLAGSHIP_CPUS,
+    HPCC_SWEEP_MACHINES,
+    IMB_FIGURES,
+    IMB_MACHINES,
+    FigureResult,
+    FigureSeries,
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    flagship_results,
+    imb_figure,
+)
+from .extended import (
+    message_size_sweep,
+    onesided_comparison,
+    sequel_study,
+    size_sweep_figure,
+    sweep_sizes,
+)
+from .plot import render_ascii_plot
+from .report import (
+    figure_to_csv,
+    figure_to_json,
+    render_figure,
+    render_table,
+    save_figure,
+    save_table,
+    table_to_csv,
+    table_to_json,
+)
+from .tables import ALL_TABLES, TableResult, table1, table2, table3
+
+__all__ = [
+    "FigureResult",
+    "FigureSeries",
+    "TableResult",
+    "ALL_FIGURES",
+    "ALL_TABLES",
+    "IMB_FIGURES",
+    "IMB_MACHINES",
+    "HPCC_SWEEP_MACHINES",
+    "FLAGSHIP_CPUS",
+    "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "imb_figure",
+    "flagship_results",
+    "table1", "table2", "table3",
+    "render_figure", "render_table", "render_ascii_plot",
+    "figure_to_csv", "table_to_csv", "figure_to_json", "table_to_json",
+    "message_size_sweep", "size_sweep_figure", "sweep_sizes",
+    "onesided_comparison", "sequel_study",
+    "save_figure", "save_table",
+]

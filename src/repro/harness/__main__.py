@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.harness``."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

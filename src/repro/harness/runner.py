@@ -1,0 +1,85 @@
+"""Command-line harness: regenerate any table/figure of the paper.
+
+Examples::
+
+    python -m repro.harness --table 2
+    python -m repro.harness --figure 12 --max-cpus 128
+    python -m repro.harness --all --max-cpus 64 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import ALL_FIGURES
+from .plot import render_ascii_plot
+from .report import render_figure, render_table, save_figure, save_table
+from .tables import ALL_TABLES
+
+
+def _norm_fig(arg: str) -> str:
+    arg = arg.lower().removeprefix("fig").lstrip("0") or "0"
+    return f"fig{int(arg):02d}"
+
+
+def _norm_table(arg: str) -> str:
+    arg = arg.lower().removeprefix("table")
+    return f"table{int(arg)}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures on the "
+                    "simulated machines.",
+    )
+    ap.add_argument("--figure", action="append", default=[],
+                    help="figure number (1-15); repeatable")
+    ap.add_argument("--table", action="append", default=[],
+                    help="table number (1-3); repeatable")
+    ap.add_argument("--all", action="store_true",
+                    help="regenerate every table and figure")
+    ap.add_argument("--max-cpus", type=int, default=None,
+                    help="cap CPU sweeps (default: the paper's full ranges)")
+    ap.add_argument("--out", default=None,
+                    help="directory for CSV/TXT exports")
+    ap.add_argument("--plot", action="store_true",
+                    help="also render figures as ASCII log-log charts")
+    args = ap.parse_args(argv)
+
+    figures = [_norm_fig(f) for f in args.figure]
+    tables = [_norm_table(t) for t in args.table]
+    if args.all:
+        figures = list(ALL_FIGURES)
+        tables = list(ALL_TABLES)
+    if not figures and not tables:
+        ap.print_help()
+        return 2
+
+    for t in tables:
+        fn = ALL_TABLES[t]
+        t0 = time.time()
+        table = fn() if t != "table3" else fn(max_cpus=args.max_cpus)
+        print(render_table(table))
+        print(f"[{t} in {time.time() - t0:.1f}s]\n")
+        if args.out:
+            save_table(table, args.out)
+
+    for f in figures:
+        fn = ALL_FIGURES[f]
+        t0 = time.time()
+        fig = fn(max_cpus=args.max_cpus)
+        print(render_figure(fig))
+        if args.plot:
+            print()
+            print(render_ascii_plot(fig))
+        print(f"[{f} in {time.time() - t0:.1f}s]\n")
+        if args.out:
+            save_figure(fig, args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Regeneration of the paper's Tables 1-3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.ratios import TABLE3_UNITS, kiviat_normalise
+from ..machine import PAPER_FIVE, get_machine
+from .figures import flagship_results
+
+
+@dataclass(frozen=True)
+class TableResult:
+    table_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    notes: str = ""
+
+
+def table1() -> TableResult:
+    """Architecture parameters of SGI Altix BX2 (static configuration)."""
+    params = get_machine("altix_nl4").extra["table1"]
+    return TableResult(
+        table_id="table1",
+        title="Architecture parameters of SGI Altix BX2",
+        headers=("Characteristics", "SGI Altix BX2"),
+        rows=tuple((k, v) for k, v in params.items()),
+    )
+
+
+def table2() -> TableResult:
+    """System characteristics of the five computing platforms."""
+    headers = (
+        "Platform", "Type", "CPUs/node", "Clock (GHz)", "Peak/node (Gflop/s)",
+        "Network", "Network topology", "Operating system", "Location",
+        "Processor vendor", "System vendor",
+    )
+    rows = []
+    for m in PAPER_FIVE:
+        rows.append((
+            m.label,
+            m.system_type,
+            m.node.cpus,
+            m.processor.clock_ghz,
+            m.peak_node_gflops,
+            m.network.name,
+            m.topology_label,
+            m.operating_system,
+            m.location,
+            m.processor_vendor,
+            m.system_vendor,
+        ))
+    return TableResult(
+        table_id="table2",
+        title="System characteristics of the five computing platforms",
+        headers=headers,
+        rows=tuple(rows),
+    )
+
+
+def table3(max_cpus: int | None = None) -> TableResult:
+    """Ratio values corresponding to the Fig 5 maxima (measured)."""
+    results = flagship_results(max_cpus)
+    data = kiviat_normalise(results)
+    rows = []
+    for col in data.columns:
+        unit = TABLE3_UNITS[col]
+        rows.append((col, f"{data.maxima[col]:.4g}" + (f" {unit}" if unit else "")))
+    return TableResult(
+        table_id="table3",
+        title="Ratio values corresponding to 1 in Fig 5",
+        headers=("Ratio", "Maximum value"),
+        rows=tuple(rows),
+        notes="Paper values: 8.729 TF/s; 1.925; 0.020; 0.039 B/F; "
+              "2.893 B/F; 0.094 B/F; 0.197 1/us; 4.9e-5 Update/F.",
+    )
+
+
+ALL_TABLES = {"table1": table1, "table2": table2, "table3": table3}

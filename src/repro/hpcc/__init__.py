@@ -1,0 +1,65 @@
+"""The HPC Challenge benchmark suite on the simulated machines."""
+
+from .dgemm import DgemmConfig, DgemmResult, dgemm_program, run_dgemm
+from .fft import FFTConfig, FFTResult, fft_program, run_fft
+from .hpl import (
+    HPLConfig,
+    HPLResult,
+    default_n,
+    hpl_lu_program,
+    hpl_model_time,
+    hpl_skeleton_program,
+    run_hpl,
+    run_hpl_skeleton,
+)
+from .ptrans import PtransConfig, PtransResult, process_grid, ptrans_program, run_ptrans
+from .randomaccess import (
+    RandomAccessConfig,
+    RandomAccessResult,
+    randomaccess_program,
+    reference_table,
+    run_randomaccess,
+)
+from .ring import RingConfig, RingResult, ring_program, run_ring
+from .stream import StreamConfig, StreamResult, run_stream, stream_program
+from .suite import HPCCConfig, HPCCResult, run_hpcc
+
+__all__ = [
+    "HPCCConfig",
+    "HPCCResult",
+    "run_hpcc",
+    "HPLConfig",
+    "HPLResult",
+    "run_hpl",
+    "run_hpl_skeleton",
+    "hpl_model_time",
+    "hpl_skeleton_program",
+    "hpl_lu_program",
+    "default_n",
+    "PtransConfig",
+    "PtransResult",
+    "run_ptrans",
+    "ptrans_program",
+    "process_grid",
+    "RandomAccessConfig",
+    "RandomAccessResult",
+    "run_randomaccess",
+    "randomaccess_program",
+    "reference_table",
+    "FFTConfig",
+    "FFTResult",
+    "run_fft",
+    "fft_program",
+    "StreamConfig",
+    "StreamResult",
+    "run_stream",
+    "stream_program",
+    "DgemmConfig",
+    "DgemmResult",
+    "run_dgemm",
+    "dgemm_program",
+    "RingConfig",
+    "RingResult",
+    "run_ring",
+    "ring_program",
+]

@@ -1,0 +1,73 @@
+"""Command-line HPCC runner: an ``hpccoutf.txt`` for simulated machines.
+
+Examples::
+
+    python -m repro.hpcc --machine sx8 -p 64
+    python -m repro.hpcc --machine opteron -p 64 --hpl-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..machine import MACHINES, get_machine
+from .hpl import hpl_model_time
+from .suite import run_hpcc
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.hpcc",
+        description="Run the HPC Challenge suite on a simulated machine.",
+    )
+    ap.add_argument("--machine", default="sx8",
+                    help=f"one of: {', '.join(sorted(MACHINES))}")
+    ap.add_argument("-p", "--nprocs", type=int, default=16)
+    ap.add_argument("--hpl-only", action="store_true")
+    ap.add_argument("--verify", action="store_true",
+                    help="run the numeric verification battery instead")
+    args = ap.parse_args(argv)
+
+    machine = get_machine(args.machine)
+    p = args.nprocs
+    t0 = time.time()
+    if args.verify:
+        from .verification import run_verification
+
+        report = run_verification(machine, p)
+        print(report)
+        return 0 if report.all_passed else 1
+    if args.hpl_only:
+        hpl = hpl_model_time(machine, p)
+        print(f"G-HPL: {hpl.tflops * 1e3:.2f} GFlop/s "
+              f"(N={hpl.n}, {hpl.efficiency * 100:.1f}% of peak)")
+        return 0
+
+    r = run_hpcc(machine, p)
+    print(f"HPC Challenge on {machine.label}, {p} CPUs "
+          f"(simulated in {time.time() - t0:.1f}s host time)")
+    print("-" * 60)
+    rows = [
+        ("G-HPL", f"{r.g_hpl_tflops * 1e3:.2f} GFlop/s"),
+        ("G-PTRANS", f"{r.g_ptrans_gbs:.2f} GB/s"),
+        ("G-RandomAccess", f"{r.g_randomaccess_gups:.5f} GUP/s"),
+        ("G-FFTE", f"{r.g_ffte_gflops:.2f} GFlop/s"),
+        ("EP-STREAM Copy", f"{r.ep_stream_copy_gbs:.2f} GB/s per process"),
+        ("EP-STREAM Triad", f"{r.ep_stream_triad_gbs:.2f} GB/s per process"),
+        ("EP-DGEMM", f"{r.ep_dgemm_gflops:.2f} GFlop/s per process"),
+        ("RandomRing bandwidth", f"{r.ring_bandwidth_gbs:.4f} GB/s per process"),
+        ("RandomRing latency", f"{r.ring_latency_us:.2f} us"),
+    ]
+    for k, v in rows:
+        print(f"{k:<22s} {v}")
+    print("-" * 60)
+    print(f"{'ring B/KFlop':<22s} {r.ring_bw_b_per_kflop:.1f}")
+    print(f"{'STREAM Byte/Flop':<22s} {r.stream_over_hpl:.3f}")
+    print(f"{'EP-DGEMM / G-HPL':<22s} {r.dgemm_over_hpl:.3f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

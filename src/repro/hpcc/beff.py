@@ -1,0 +1,118 @@
+"""b_eff: the effective bandwidth benchmark (Rabenseifner & Koniges).
+
+The paper's reference [14] and the ancestor of HPCC's ring benchmarks.
+b_eff averages per-process bandwidth over
+
+* a set of communication *patterns*: natural rings (neighbourhood
+  traffic) and randomly ordered rings (global traffic), and
+* a geometric ladder of 21 *message sizes* from 1 B up to ``L_max``
+  (1 MiB here; the original uses memory/128),
+
+giving one figure (MB/s per process) that weights latency and bandwidth
+the way "average" applications do.  The logarithmic size average means
+small-message latency matters as much as peak bandwidth — exactly the
+argument the paper makes against quoting zero-byte latency and 4 MB
+bandwidth alone (§1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import BenchmarkError
+from ..core.rng import make_rng
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+from .ring import _ring_exchange
+
+#: Ladder length of the original benchmark.
+N_SIZES = 21
+
+#: Largest message in the ladder (the original uses memory/128).
+L_MAX = 1 << 20
+
+
+def beff_message_sizes(l_max: int = L_MAX, n: int = N_SIZES) -> list[int]:
+    """Geometric ladder of ``n`` sizes from 1 byte to ``l_max``."""
+    if l_max < 2 or n < 2:
+        raise BenchmarkError("need l_max >= 2 and n >= 2")
+    ratio = l_max ** (1.0 / (n - 1))
+    sizes = sorted({max(1, int(round(ratio ** k))) for k in range(n)})
+    if sizes[-1] != l_max:
+        sizes.append(l_max)
+    return sizes
+
+
+@dataclass(frozen=True)
+class BeffConfig:
+    l_max: int = L_MAX
+    n_sizes: int = N_SIZES
+    n_random_rings: int = 3
+
+
+@dataclass(frozen=True)
+class BeffResult:
+    beff_mbs: float            # b_eff per process (MB/s, decimal)
+    ring_mbs: float            # natural-ring component
+    random_mbs: float          # random-ring component
+    nprocs: int
+
+    @property
+    def total_gbs(self) -> float:
+        return self.beff_mbs * self.nprocs / 1e3
+
+
+def _pattern_rings(size: int, cfg: BeffConfig, seed: int) -> list[np.ndarray]:
+    rng = make_rng(seed, 0xBEFF)
+    rings = [np.arange(size)]                      # natural ring
+    for _ in range(cfg.n_random_rings):
+        rings.append(rng.permutation(size))       # random rings
+    return rings
+
+
+def beff_program(comm, cfg: BeffConfig):
+    """Rank program; returns (natural_bw, random_bw) in bytes/s."""
+    size = comm.size
+    sizes = beff_message_sizes(cfg.l_max, cfg.n_sizes)
+    rings = _pattern_rings(size, cfg, comm.cluster.seed)
+    per_pattern = []
+    tag = 0
+    for ring in rings:
+        pos = int(np.where(ring == comm.rank)[0][0])
+        left = int(ring[(pos - 1) % size])
+        right = int(ring[(pos + 1) % size])
+        bandwidths = []
+        for nbytes in sizes:
+            yield from comm.barrier()
+            t0 = comm.now
+            yield from _ring_exchange(comm, left, right, nbytes, tag)
+            dt = comm.now - t0
+            tag += 8
+            bandwidths.append(2.0 * nbytes / dt)
+        # logarithmic average over the size ladder (the b_eff rule)
+        per_pattern.append(float(np.exp(np.mean(np.log(bandwidths)))))
+    natural = per_pattern[0]
+    random_ = float(np.mean(per_pattern[1:])) if len(per_pattern) > 1 else natural
+    return natural, random_
+
+
+def run_beff(machine: MachineSpec, nprocs: int,
+             cfg: BeffConfig | None = None) -> BeffResult:
+    """Run b_eff on ``nprocs`` CPUs of ``machine``."""
+    cfg = cfg or BeffConfig()
+    if nprocs < 2:
+        raise BenchmarkError("b_eff needs at least two processes")
+    cluster = Cluster(machine, nprocs)
+    res = cluster.run(beff_program, cfg)
+    natural = float(np.mean([r[0] for r in res.results]))
+    random_ = float(np.mean([r[1] for r in res.results]))
+    # b_eff weights rings and random patterns equally
+    beff = 0.5 * (natural + random_)
+    return BeffResult(
+        beff_mbs=beff / 1e6,
+        ring_mbs=natural / 1e6,
+        random_mbs=random_ / 1e6,
+        nprocs=nprocs,
+    )

@@ -1,0 +1,72 @@
+"""EP-DGEMM: embarrassingly parallel matrix-matrix multiply rate.
+
+Every rank times a local ``C = alpha*A@B + beta*C`` of order ``n`` and the
+suite reports the mean Gflop/s.  The paper uses EP-DGEMM/HPL as a
+processor-efficiency indicator (Table 3: the Cray Opteron's 1.925 is the
+largest because its HPL efficiency is the lowest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import BenchmarkError
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class DgemmConfig:
+    n: int = 4096                 # logical matrix order
+    validate: bool = False
+    validate_n: int = 64          # real matrix order in validate mode
+
+
+@dataclass(frozen=True)
+class DgemmResult:
+    gflops_per_proc: float
+    nprocs: int
+
+    @property
+    def system_gflops(self) -> float:
+        return self.gflops_per_proc * self.nprocs
+
+
+def dgemm_flops(n: int) -> float:
+    """Flop count of a square DGEMM (multiply-add counted as 2)."""
+    return 2.0 * float(n) ** 3
+
+
+def dgemm_program(comm, cfg: DgemmConfig):
+    """Rank program: one timed DGEMM; returns Gflop/s."""
+    if cfg.n < 1:
+        raise BenchmarkError("DGEMM needs n >= 1")
+    yield from comm.barrier()
+    flops = dgemm_flops(cfg.n)
+    # Cache-blocked: memory traffic ~ 3 matrices, far below the roofline.
+    nbytes = 3.0 * 8.0 * cfg.n ** 2
+    t0 = comm.now
+    yield from comm.compute(flops=flops, nbytes=nbytes, kernel="dgemm")
+    dt = comm.now - t0
+    if cfg.validate:
+        rng = comm.cluster.rng(comm.rank)
+        m = cfg.validate_n
+        a = rng.random((m, m))
+        b = rng.random((m, m))
+        c = a @ b
+        # spot-check one entry against a manual dot product
+        assert np.isclose(c[0, 0], float(np.dot(a[0], b[:, 0])))
+    return flops / dt / 1e9
+
+
+def run_dgemm(machine: MachineSpec, nprocs: int,
+              cfg: DgemmConfig | None = None) -> DgemmResult:
+    cfg = cfg or DgemmConfig()
+    cluster = Cluster(machine, nprocs)
+    res = cluster.run(dgemm_program, cfg)
+    return DgemmResult(
+        gflops_per_proc=float(np.mean(res.results)),
+        nprocs=nprocs,
+    )

@@ -1,0 +1,166 @@
+"""G-FFTE: global 1-D complex FFT.
+
+Implements the transpose algorithm (the structure of Takahashi's FFTE
+used by HPCC): view the length-``N`` vector as an ``n1 x n2`` matrix,
+then
+
+1. alltoall transpose,
+2. local n1-point FFTs,
+3. twiddle multiply,
+4. alltoall transpose,
+5. local n2-point FFTs,
+6. alltoall transpose back to natural order.
+
+Local FFT arithmetic is charged as ``5 N log2 N`` flops under the ``fft``
+kernel class — on the vector machines this runs near the *scalar* unit,
+reproducing the paper's remark that HPCC's FFT "does not completely
+vectorize".  In ``validate`` mode the ranks hold real data and the result
+is checked against ``numpy.fft.fft``.
+
+For the harness's large sweeps a ``macro`` path prices the same three
+alltoalls with the closed-form model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import BenchmarkError
+from ..core.rng import make_rng
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+from ..network import macro
+
+
+@dataclass(frozen=True)
+class FFTConfig:
+    total_elements: int = 1 << 22   # global vector length N (complex128)
+    validate: bool = False
+
+
+@dataclass(frozen=True)
+class FFTResult:
+    gflops: float                   # HPCC G-FFTE figure
+    elapsed: float
+    nprocs: int
+    total_elements: int
+
+
+def fft_flops(n: float) -> float:
+    return 5.0 * n * math.log2(max(n, 2))
+
+
+def _local_fft_cost(comm, n_local: float):
+    flops = fft_flops(n_local)
+    nbytes = 16.0 * n_local * 2  # one read + one write pass per butterfly set
+    yield from comm.compute(flops=flops, nbytes=nbytes, kernel="fft")
+
+
+def fft_program(comm, cfg: FFTConfig):
+    """Rank program; returns (elapsed, local slice of the spectrum | None)."""
+    p = comm.size
+    n = cfg.total_elements
+    if n % (p * p):
+        raise BenchmarkError(
+            f"G-FFTE needs total_elements divisible by nprocs^2 (n={n}, p={p})"
+        )
+    n_local = n // p
+    chunk = n_local // p            # per-pair alltoall block (elements)
+    chunk_bytes = 16 * chunk
+
+    # Four-step decomposition: view x as an (n1, n2) matrix with
+    # n1 = P and n2 = N/P; rank r owns row r.  The index algebra:
+    # X[k2*P + k1] = FFT_n2 over j2 of [ twiddle(j2, k1)
+    #                * FFT_P over j1 of x[j1*n2 + j2] ].
+    n1 = p
+    n2 = n // p
+    rank = comm.rank
+
+    x = None
+    if cfg.validate:
+        rng = make_rng(comm.cluster.seed, 333)
+        x_g = rng.random(n) + 1j * rng.random(n)
+        x = x_g[rank * n_local:(rank + 1) * n_local].copy()
+
+    yield from comm.barrier()
+    t0 = comm.now
+
+    # Stage A: transpose so each rank holds full columns of its j2-chunk.
+    blocks = None
+    if x is not None:
+        m = x.reshape(p, chunk)  # my row split into P chunks of n2/P
+        blocks = [m[i].copy() for i in range(p)]
+    got = yield from comm.alltoall(blocks, nbytes=chunk_bytes)
+    grid = None
+    if x is not None:
+        # grid[j2_local, j1] — column j1 came from rank j1's chunk
+        grid = np.stack([g for g in got], axis=1).astype(np.complex128)
+
+    # Stage B: length-P FFTs along j1 for every local column.
+    yield from _local_fft_cost(comm, n_local)
+    if grid is not None:
+        grid = np.fft.fft(grid, axis=1)  # grid[j2_local, k1]
+
+    # Stage C: twiddle multiply  e^{-2 pi i j2 k1 / N}.
+    yield from comm.compute(flops=6.0 * n_local, nbytes=32.0 * n_local,
+                            kernel="fft")
+    if grid is not None:
+        j2 = (rank * chunk + np.arange(chunk))[:, None]
+        k1 = np.arange(p)[None, :]
+        grid = grid * np.exp(-2j * np.pi * j2 * k1 / n)
+
+    # Stage D: second transpose — rank k1 collects its full j2 row.
+    if grid is not None:
+        blocks = [grid[:, k1].copy() for k1 in range(p)]
+    got = yield from comm.alltoall(blocks, nbytes=chunk_bytes)
+    row = None
+    if grid is not None:
+        row = np.concatenate([g for g in got])  # h[j2], length n2
+
+    # Stage E: one length-n2 FFT over j2.
+    yield from _local_fft_cost(comm, n_local)
+    if row is not None:
+        row = np.fft.fft(row)  # X[k2*P + rank] for all k2
+
+    # Stage F: unscramble the strided result to natural block order.
+    if row is not None:
+        m = row.reshape(p, chunk)  # chunk k2-values per destination rank
+        blocks = [m[q].copy() for q in range(p)]
+    got = yield from comm.alltoall(blocks, nbytes=chunk_bytes)
+    if row is not None:
+        # out[i*P + s] = recv_from_s[i]
+        x = np.stack([g for g in got], axis=1).ravel()
+    elapsed = comm.now - t0
+    return elapsed, x
+
+
+def run_fft(machine: MachineSpec, nprocs: int, cfg: FFTConfig | None = None,
+            mode: str = "auto") -> FFTResult:
+    """Run G-FFTE.  ``mode``: ``algorithmic`` | ``macro`` | ``auto``."""
+    cfg = cfg or FFTConfig()
+    if mode == "auto":
+        mode = "algorithmic" if nprocs <= 128 else "macro"
+    n = cfg.total_elements
+    if mode == "macro":
+        ctx = macro.MacroContext.from_machine(machine, nprocs)
+        cluster = Cluster(machine, nprocs)
+        n_local = n / nprocs
+        chunk_bytes = 16.0 * n_local / nprocs
+        t = 3.0 * macro.alltoall_time(ctx, chunk_bytes)
+        t += 2.0 * cluster.compute_time(fft_flops(n_local),
+                                        32.0 * n_local, "fft")
+        t += cluster.compute_time(6.0 * n_local, 32.0 * n_local, "fft")
+        elapsed = t
+    else:
+        cluster = Cluster(machine, nprocs)
+        res = cluster.run(fft_program, cfg)
+        elapsed = max(r[0] for r in res.results)
+    return FFTResult(
+        gflops=fft_flops(n) / elapsed / 1e9,
+        elapsed=elapsed,
+        nprocs=nprocs,
+        total_elements=n,
+    )

@@ -1,0 +1,285 @@
+"""G-HPL: the High-Performance LINPACK benchmark.
+
+Three fidelity levels, cross-validated against each other in the tests:
+
+* :func:`hpl_model_time` — an analytic model of block right-looking LU on
+  a near-square process grid: roofline compute at the machine's HPL
+  efficiency plus per-panel communication (pivot allreduces, pipelined
+  row broadcasts of panels, column exchanges of U).  This is the level
+  the harness sweeps use (2024-CPU points in milliseconds of host time).
+* :func:`hpl_skeleton_program` — the same algorithm executed message-by-
+  message on the simulated MPI (compute charged, no numerics).  Used to
+  check the analytic model's structure at small/medium scale.
+* :func:`hpl_lu_program` — a genuine distributed LU factorisation with
+  real NumPy panels (1-D column-block layout, unpivoted on a diagonally
+  dominant matrix) whose ``L @ U = A`` residual is checked in the tests.
+
+Reported figure: ``Gflop/s = (2/3 N^3 + 3/2 N^2) / time / 1e9`` (HPL's
+official operation count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import BenchmarkError
+from ..core.rng import make_rng
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+from ..network import macro
+from .ptrans import process_grid
+
+
+@dataclass(frozen=True)
+class HPLConfig:
+    n: int | None = None        # matrix order; None = size from memory fill
+    nb: int = 128               # panel width
+    memory_fill: float = 0.8    # fraction of machine memory for the matrix
+    grid: tuple[int, int] | None = None  # (Pr, Pc); None = near-square
+
+
+@dataclass(frozen=True)
+class HPLResult:
+    gflops: float
+    tflops: float
+    elapsed: float
+    efficiency: float           # fraction of machine peak
+    n: int
+    nprocs: int
+
+
+def hpl_flops(n: float) -> float:
+    """HPL's official floating-point operation count."""
+    return (2.0 / 3.0) * n ** 3 + 1.5 * n ** 2
+
+
+def _resolve_grid(cfg: HPLConfig, nprocs: int) -> tuple[int, int]:
+    """The HPL.dat P x Q choice: explicit grid or near-square default."""
+    if cfg.grid is None:
+        return process_grid(nprocs)
+    pr, pc = cfg.grid
+    if pr * pc != nprocs:
+        raise BenchmarkError(
+            f"grid {pr}x{pc} does not match {nprocs} processes"
+        )
+    return int(pr), int(pc)
+
+
+def default_n(machine: MachineSpec, nprocs: int, fill: float = 0.8,
+              nb: int = 128) -> int:
+    """Problem size filling ``fill`` of the aggregate memory (HPL custom)."""
+    mem = machine.node.memory_bytes / machine.node.cpus * nprocs
+    n = int(math.sqrt(fill * mem / 8.0))
+    return max((n // nb) * nb, nb)
+
+
+def _panel_comm_terms(ctx: macro.MacroContext, n: int, nb: int,
+                      pr: int, pc: int) -> float:
+    """Per-run communication time of the panel loop (analytic)."""
+    lat = ctx.lat_inter if ctx.n_nodes > 1 else ctx.lat_shm
+    flow = ctx.flow_bw if ctx.n_nodes > 1 else ctx.shm_flow_bw
+    t = 0.0
+    panels = n // nb
+    for k in range(panels):
+        rows = n - k * nb
+        # pivot search: nb max-allreduces along the column, aggregated by
+        # HPL into the panel factorisation; charge nb small messages deep
+        # on the critical path of log2(pr) levels.
+        t += nb * lat * max(1.0, math.log2(max(pr, 2))) * 0.25
+        # panel broadcast along the process row (pipelined ring: depth 2).
+        panel_bytes = rows * nb * 8.0 / pr
+        t += 2.0 * (lat + panel_bytes / flow)
+        # U swap/broadcast along the process column.
+        u_bytes = rows * nb * 8.0 / pc
+        t += 2.0 * (lat + u_bytes / flow)
+    return t
+
+
+def hpl_model_time(machine: MachineSpec, nprocs: int,
+                   cfg: HPLConfig | None = None) -> HPLResult:
+    """Analytic HPL estimate (the harness's default path)."""
+    cfg = cfg or HPLConfig()
+    n = cfg.n or default_n(machine, nprocs, cfg.memory_fill, cfg.nb)
+    pr, pc = _resolve_grid(cfg, nprocs)
+    proc = machine.processor
+    f_update = proc.peak_flops * proc.hpl_eff
+    t_compute = hpl_flops(n) / (nprocs * f_update)
+    if nprocs > 1:
+        ctx = macro.MacroContext.from_machine(machine, nprocs)
+        t_comm = _panel_comm_terms(ctx, n, cfg.nb, pr, pc)
+    else:
+        t_comm = 0.0
+    elapsed = t_compute + t_comm
+    gflops = hpl_flops(n) / elapsed / 1e9
+    return HPLResult(
+        gflops=gflops,
+        tflops=gflops / 1e3,
+        elapsed=elapsed,
+        efficiency=gflops / (machine.processor.peak_gflops * nprocs),
+        n=n,
+        nprocs=nprocs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# DES skeleton
+# ---------------------------------------------------------------------------
+
+def hpl_skeleton_program(comm, cfg: HPLConfig):
+    """Message-accurate skeleton of block right-looking LU; returns elapsed."""
+    p = comm.size
+    n = cfg.n
+    if n is None:
+        raise BenchmarkError("skeleton mode needs an explicit n")
+    nb = cfg.nb
+    pr, pc = _resolve_grid(cfg, p)
+    gi, gj = divmod(comm.rank, pc)
+    row_comm = yield from comm.split(color=gi, key=gj)
+    col_comm = yield from comm.split(color=gj, key=gi)
+
+    yield from comm.barrier()
+    t0 = comm.now
+    panels = n // nb
+    for k in range(panels):
+        rows = n - k * nb
+        root_col = k % pc
+        root_row = k % pr
+        if gj == root_col:
+            # pivot search + panel factorisation on the panel column
+            yield from col_comm.allreduce(nbytes=16 * nb)
+            yield from comm.compute(
+                flops=rows * nb * nb / pr, nbytes=rows * nb * 8.0 / pr,
+                kernel="hpl",
+            )
+        # broadcast the factored panel across process rows
+        yield from row_comm.bcast(nbytes=int(rows * nb * 8 / pr),
+                                  root=root_col)
+        # U block exchange down the columns
+        yield from col_comm.bcast(nbytes=int(rows * nb * 8 / pc),
+                                  root=root_row)
+        # trailing-matrix update (my share)
+        yield from comm.compute(
+            flops=2.0 * nb * (rows / pr) * (rows / pc),
+            nbytes=8.0 * (rows / pr) * (rows / pc),
+            kernel="hpl",
+        )
+    return comm.now - t0
+
+
+def run_hpl_skeleton(machine: MachineSpec, nprocs: int,
+                     cfg: HPLConfig) -> HPLResult:
+    if cfg.n is None:
+        raise BenchmarkError("skeleton mode needs an explicit n")
+    cluster = Cluster(machine, nprocs)
+    res = cluster.run(hpl_skeleton_program, cfg)
+    elapsed = max(res.results)
+    gflops = hpl_flops(cfg.n) / elapsed / 1e9
+    return HPLResult(
+        gflops=gflops,
+        tflops=gflops / 1e3,
+        elapsed=elapsed,
+        efficiency=gflops / (machine.processor.peak_gflops * nprocs),
+        n=cfg.n,
+        nprocs=nprocs,
+    )
+
+
+def run_hpl(machine: MachineSpec, nprocs: int, cfg: HPLConfig | None = None,
+            mode: str = "model") -> HPLResult:
+    """Run G-HPL.  ``mode``: ``model`` (default) or ``skeleton``."""
+    cfg = cfg or HPLConfig()
+    if mode == "model":
+        return hpl_model_time(machine, nprocs, cfg)
+    if mode == "skeleton":
+        if cfg.n is None:
+            cfg = HPLConfig(n=default_n(machine, nprocs, 0.001, cfg.nb),
+                            nb=cfg.nb, memory_fill=cfg.memory_fill,
+                            grid=cfg.grid)
+        return run_hpl_skeleton(machine, nprocs, cfg)
+    raise BenchmarkError(f"unknown HPL mode {mode!r}")
+
+
+# ---------------------------------------------------------------------------
+# real distributed LU (validation)
+# ---------------------------------------------------------------------------
+
+def hpl_lu_program(comm, n: int, nb: int):
+    """Distributed unpivoted LU with real data; returns my column blocks.
+
+    1-D column-block-cyclic layout: block ``j`` (columns ``j*nb`` ..) lives
+    on rank ``j % P``.  The matrix is made diagonally dominant so the
+    factorisation is stable without pivoting.
+    """
+    p = comm.size
+    if n % nb:
+        raise BenchmarkError("n must be a multiple of nb")
+    nblocks = n // nb
+    rng = make_rng(comm.cluster.seed, 42)
+    a_g = rng.random((n, n)) + np.diag(np.full(n, float(2 * n)))
+    mine = {j: a_g[:, j * nb:(j + 1) * nb].copy()
+            for j in range(nblocks) if j % p == comm.rank}
+
+    for k in range(nblocks):
+        owner = k % p
+        k0, k1 = k * nb, (k + 1) * nb
+        if owner == comm.rank:
+            blk = mine[k]
+            # factorise the diagonal sub-block, then compute the L column.
+            dk = blk[k0:k1, :]
+            lw, uw = _lu_nopivot(dk)
+            blk[k0:k1, :] = np.tril(lw, -1) + uw
+            if k1 < n:
+                blk[k1:, :] = blk[k1:, :] @ np.linalg.inv(uw)
+            panel = blk[:, :].copy()
+            yield from comm.compute(flops=n * nb * nb, kernel="hpl",
+                                    nbytes=8.0 * n * nb)
+        else:
+            panel = None
+        panel = yield from comm.bcast(data=panel, nbytes=8 * n * nb,
+                                      root=owner)
+        l_col = panel[k1:, :] if k1 < n else None
+        u_row_solver = np.linalg.inv(
+            np.tril(panel[k0:k1, :], -1) + np.eye(nb)
+        )
+        for j, blk in mine.items():
+            if j <= k:
+                continue
+            # U block row: solve L11 * U = A
+            blk[k0:k1, :] = u_row_solver @ blk[k0:k1, :]
+            if k1 < n:
+                blk[k1:, :] -= l_col @ blk[k0:k1, :]
+            yield from comm.compute(flops=2.0 * (n - k1) * nb * nb,
+                                    kernel="hpl", nbytes=8.0 * (n - k1) * nb)
+    return mine
+
+
+def _lu_nopivot(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense unpivoted LU; returns (L with unit diagonal, U)."""
+    m = a.shape[0]
+    lw = np.eye(m)
+    uw = a.copy()
+    for i in range(m - 1):
+        factors = uw[i + 1:, i] / uw[i, i]
+        lw[i + 1:, i] = factors
+        uw[i + 1:, :] -= np.outer(factors, uw[i, :])
+    return lw, np.triu(uw)
+
+
+def assemble_lu(results: list[dict[int, np.ndarray]], n: int,
+                nb: int) -> tuple[np.ndarray, np.ndarray]:
+    """Reassemble global L and U from per-rank column blocks."""
+    lu = np.zeros((n, n))
+    for mine in results:
+        for j, blk in mine.items():
+            lu[:, j * nb:(j + 1) * nb] = blk
+    lower = np.tril(lu, -1) + np.eye(n)
+    upper = np.triu(lu)
+    return lower, upper
+
+
+def reference_matrix(seed: int, n: int) -> np.ndarray:
+    rng = make_rng(seed, 42)
+    return rng.random((n, n)) + np.diag(np.full(n, float(2 * n)))

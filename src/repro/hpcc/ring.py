@@ -1,0 +1,108 @@
+"""Random-ring (and natural-ring) bandwidth and latency.
+
+The HPCC effective-bandwidth benchmarks order all ranks in a ring —
+either naturally (0,1,2,...) or by a random permutation — and every rank
+exchanges messages with both neighbours simultaneously.  Reported values:
+
+* **bandwidth**: per-CPU bytes *sent* per second at a large message size
+  (2,000,000 B in HPCC), averaged over several random permutations.
+  Random rings make most partners land on remote SMP nodes, so this is
+  the paper's proxy for per-process inter-node bandwidth (§4.1.1).
+* **latency**: time per 8-byte both-ways exchange, averaged likewise.
+
+All ranks derive identical permutations from the shared cluster seed, so
+the pattern is consistent without extra communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import make_rng
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+
+#: HPCC uses 2,000,000-byte messages for ring bandwidth.
+RING_BANDWIDTH_BYTES = 2_000_000
+RING_LATENCY_BYTES = 8
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    nbytes: int = RING_BANDWIDTH_BYTES
+    n_rings: int = 8          # random permutations averaged over
+    random_order: bool = True
+
+
+@dataclass(frozen=True)
+class RingResult:
+    bandwidth_gbs: float      # per-CPU send bandwidth (GB/s)
+    latency_us: float         # per-exchange latency (us)
+    nprocs: int
+
+    @property
+    def accumulated_gbs(self) -> float:
+        """Accumulated ring bandwidth (paper Fig 1's y-axis)."""
+        return self.bandwidth_gbs * self.nprocs
+
+
+def _ring_exchange(comm, left: int, right: int, nbytes: int, tag: int):
+    """Send to both neighbours, receive from both, concurrently."""
+    reqs = [
+        comm.irecv(left, tag),
+        comm.irecv(right, tag + 1),
+    ]
+    sreqs = [
+        comm.isend(right, nbytes=nbytes, tag=tag),
+        comm.isend(left, nbytes=nbytes, tag=tag + 1),
+    ]
+    yield from comm.waitall(reqs + sreqs)
+
+
+def ring_program(comm, cfg: RingConfig):
+    """Rank program; returns (bandwidth_bytes_per_s, latency_seconds)."""
+    size = comm.size
+    rng = make_rng(comm.cluster.seed, 9_001)  # shared stream, all ranks
+    bw_times = []
+    lat_times = []
+    for trial in range(cfg.n_rings):
+        if cfg.random_order:
+            perm = rng.permutation(size)
+        else:
+            perm = np.arange(size)
+        pos = int(np.where(perm == comm.rank)[0][0])
+        left = int(perm[(pos - 1) % size])
+        right = int(perm[(pos + 1) % size])
+        tag = 10 * trial
+        yield from comm.barrier()
+        t0 = comm.now
+        yield from _ring_exchange(comm, left, right, cfg.nbytes, tag)
+        bw_times.append(comm.now - t0)
+        yield from comm.barrier()
+        t0 = comm.now
+        yield from _ring_exchange(comm, left, right, RING_LATENCY_BYTES, tag + 4)
+        lat_times.append(comm.now - t0)
+    # Return raw per-trial times; the driver reduces them b_eff-style
+    # (pattern time = slowest rank, since the ring is one global pattern).
+    return bw_times, lat_times
+
+
+def run_ring(machine: MachineSpec, nprocs: int,
+             cfg: RingConfig | None = None) -> RingResult:
+    cfg = cfg or RingConfig()
+    if nprocs == 1:
+        return RingResult(bandwidth_gbs=float("inf"), latency_us=0.0, nprocs=1)
+    cluster = Cluster(machine, nprocs)
+    res = cluster.run(ring_program, cfg)
+    # b_eff convention: each trial's pattern time is the slowest rank's;
+    # the reported figure averages over the random permutations.
+    bw_trials = np.max([r[0] for r in res.results], axis=0)
+    lat_trials = np.max([r[1] for r in res.results], axis=0)
+    bw = 2.0 * cfg.nbytes / float(np.mean(bw_trials))
+    return RingResult(
+        bandwidth_gbs=bw / 1e9,
+        latency_us=float(np.mean(lat_trials)) * 1e6,
+        nprocs=nprocs,
+    )

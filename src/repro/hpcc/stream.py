@@ -1,0 +1,120 @@
+"""EP-STREAM: embarrassingly parallel sustainable memory bandwidth.
+
+All ranks run the four STREAM kernels simultaneously (McCalpin's rules:
+Copy ``c = a``, Scale ``b = q*c``, Add ``c = a + b``, Triad
+``a = b + q*c``).  The HPCC suite reports the arithmetic mean across
+ranks; the paper's Figs 3-4 use the Copy result.
+
+In ``validate`` mode the kernels actually execute on NumPy arrays and the
+results are checked; timing always comes from the machine model's
+per-kernel memory bandwidth (derated by the node's full-population
+factor), so virtual bandwidth is independent of the host machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import BenchmarkError
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+
+#: Bytes moved per element for each kernel (read + write traffic).
+KERNEL_BYTES_PER_ELEM = {
+    "stream_copy": 16,
+    "stream_scale": 16,
+    "stream_add": 24,
+    "stream_triad": 24,
+}
+
+#: Flops per element for each kernel.
+KERNEL_FLOPS_PER_ELEM = {
+    "stream_copy": 0,
+    "stream_scale": 1,
+    "stream_add": 1,
+    "stream_triad": 2,
+}
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    n_elements: int = 10_000_000   # logical array length per rank
+    validate: bool = False
+    validate_elements: int = 4096  # real array length in validate mode
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Per-rank average bandwidths (GB/s) plus system aggregates."""
+
+    copy_gbs: float
+    scale_gbs: float
+    add_gbs: float
+    triad_gbs: float
+    nprocs: int
+
+    @property
+    def system_copy_gbs(self) -> float:
+        """Accumulated Copy bandwidth (paper Fig 3's y-axis)."""
+        return self.copy_gbs * self.nprocs
+
+
+def stream_program(comm, cfg: StreamConfig):
+    """Rank program: run the four kernels, return per-kernel GB/s."""
+    n = cfg.n_elements
+    if n < 1:
+        raise BenchmarkError("STREAM needs at least one element")
+    rng = comm.cluster.rng(comm.rank)
+    arrays = None
+    if cfg.validate:
+        m = cfg.validate_elements
+        a = rng.random(m)
+        b = rng.random(m)
+        c = np.zeros(m)
+        arrays = (a, b, c)
+
+    yield from comm.barrier()
+    rates = {}
+    q = 3.0
+    for kernel in ("stream_copy", "stream_scale", "stream_add", "stream_triad"):
+        nbytes = KERNEL_BYTES_PER_ELEM[kernel] * n
+        flops = KERNEL_FLOPS_PER_ELEM[kernel] * n
+        t0 = comm.now
+        yield from comm.compute(flops=flops, nbytes=nbytes, kernel=kernel)
+        dt = comm.now - t0
+        rates[kernel] = nbytes / dt / 1e9
+        if arrays is not None:
+            a, b, c = arrays
+            if kernel == "stream_copy":
+                c[:] = a
+                assert np.array_equal(c, a)
+            elif kernel == "stream_scale":
+                b[:] = q * c
+                assert np.allclose(b, q * a)
+            elif kernel == "stream_add":
+                c[:] = a + b
+                assert np.allclose(c, a + q * a)
+            else:
+                a[:] = b + q * c
+    return rates
+
+
+def run_stream(machine: MachineSpec, nprocs: int,
+               cfg: StreamConfig | None = None) -> StreamResult:
+    """Run EP-STREAM on ``nprocs`` CPUs of ``machine``."""
+    cfg = cfg or StreamConfig()
+    cluster = Cluster(machine, nprocs)
+    res = cluster.run(stream_program, cfg)
+    mean = {
+        k: float(np.mean([r[k] for r in res.results]))
+        for k in KERNEL_BYTES_PER_ELEM
+    }
+    return StreamResult(
+        copy_gbs=mean["stream_copy"],
+        scale_gbs=mean["stream_scale"],
+        add_gbs=mean["stream_add"],
+        triad_gbs=mean["stream_triad"],
+        nprocs=nprocs,
+    )

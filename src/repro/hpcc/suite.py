@@ -1,0 +1,125 @@
+"""The full HPCC suite driver: one call, all eight reported quantities.
+
+Mirrors what ``hpcc.out`` would give you on a real machine — the numbers
+the paper's §4.1 analysis consumes: G-HPL, G-PTRANS, G-RandomAccess,
+G-FFTE, EP-STREAM (Copy/Triad), EP-DGEMM, and random-ring bandwidth and
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.system import MachineSpec
+from .dgemm import DgemmConfig, run_dgemm
+from .fft import FFTConfig, run_fft
+from .hpl import HPLConfig, run_hpl
+from .ptrans import PtransConfig, run_ptrans
+from .randomaccess import RandomAccessConfig, run_randomaccess
+from .ring import RingConfig, run_ring
+from .stream import StreamConfig, run_stream
+
+
+@dataclass(frozen=True)
+class HPCCConfig:
+    """Problem sizes for one suite run (scaled-down defaults).
+
+    The defaults keep simulation cheap while staying in each benchmark's
+    asymptotic regime; the harness overrides per experiment.
+    """
+
+    hpl: HPLConfig = field(default_factory=HPLConfig)
+    ptrans: PtransConfig = field(default_factory=PtransConfig)
+    randomaccess: RandomAccessConfig = field(default_factory=RandomAccessConfig)
+    fft: FFTConfig = field(default_factory=FFTConfig)
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    dgemm: DgemmConfig = field(default_factory=DgemmConfig)
+    ring: RingConfig = field(default_factory=RingConfig)
+
+
+@dataclass(frozen=True)
+class HPCCResult:
+    """One row of the paper-style results table."""
+
+    machine: str
+    nprocs: int
+    g_hpl_tflops: float
+    g_ptrans_gbs: float
+    g_randomaccess_gups: float
+    g_ffte_gflops: float
+    ep_stream_copy_gbs: float      # per process
+    ep_stream_triad_gbs: float     # per process
+    ep_dgemm_gflops: float         # per process
+    ring_bandwidth_gbs: float      # per process
+    ring_latency_us: float
+
+    # -- the paper's derived ratios (Fig 5 / Table 3 columns) ---------------
+
+    @property
+    def g_hpl_gflops(self) -> float:
+        return self.g_hpl_tflops * 1e3
+
+    @property
+    def dgemm_over_hpl(self) -> float:
+        return self.ep_dgemm_gflops * self.nprocs / self.g_hpl_gflops
+
+    @property
+    def ffte_over_hpl(self) -> float:
+        return self.g_ffte_gflops / self.g_hpl_gflops
+
+    @property
+    def ptrans_over_hpl(self) -> float:
+        """Byte/Flop."""
+        return self.g_ptrans_gbs / self.g_hpl_gflops
+
+    @property
+    def stream_over_hpl(self) -> float:
+        """Accumulated STREAM Copy per HPL flop (Byte/Flop, Fig 4)."""
+        return self.ep_stream_copy_gbs * self.nprocs / self.g_hpl_gflops
+
+    @property
+    def ring_bw_over_hpl(self) -> float:
+        """Accumulated random-ring bandwidth per HPL flop (Byte/Flop)."""
+        return self.ring_bandwidth_gbs * self.nprocs / self.g_hpl_gflops
+
+    @property
+    def ring_bw_b_per_kflop(self) -> float:
+        """The B/KFlop figure quoted in the paper's §4.1.1."""
+        return self.ring_bw_over_hpl * 1e3
+
+    @property
+    def inv_ring_latency(self) -> float:
+        return 1.0 / self.ring_latency_us if self.ring_latency_us else float("inf")
+
+    @property
+    def randomaccess_over_hpl(self) -> float:
+        """Updates per flop."""
+        return self.g_randomaccess_gups / self.g_hpl_gflops
+
+
+def run_hpcc(machine: MachineSpec, nprocs: int,
+             cfg: HPCCConfig | None = None, mode: str = "auto") -> HPCCResult:
+    """Run the complete suite on ``nprocs`` CPUs of ``machine``."""
+    cfg = cfg or HPCCConfig()
+    hpl_res = run_hpl(machine, nprocs, cfg.hpl, mode="model")
+    ptrans_res = run_ptrans(machine, nprocs, cfg.ptrans)
+    ra_res = run_randomaccess(machine, nprocs, cfg.randomaccess,
+                              mode="auto" if mode == "auto" else mode)
+    fft_res = run_fft(machine, nprocs, cfg.fft,
+                      mode="auto" if mode == "auto" else mode)
+    stream_res = run_stream(machine, nprocs, cfg.stream)
+    dgemm_res = run_dgemm(machine, nprocs, cfg.dgemm)
+    ring_res = run_ring(machine, nprocs, cfg.ring)
+    return HPCCResult(
+        machine=machine.name,
+        nprocs=nprocs,
+        g_hpl_tflops=hpl_res.tflops,
+        g_ptrans_gbs=ptrans_res.gbs,
+        g_randomaccess_gups=ra_res.gups,
+        g_ffte_gflops=fft_res.gflops,
+        ep_stream_copy_gbs=stream_res.copy_gbs,
+        ep_stream_triad_gbs=stream_res.triad_gbs,
+        ep_dgemm_gflops=dgemm_res.gflops_per_proc,
+        ring_bandwidth_gbs=ring_res.bandwidth_gbs,
+        ring_latency_us=ring_res.latency_us,
+    )

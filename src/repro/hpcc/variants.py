@@ -1,0 +1,170 @@
+"""HPCC Single / Star / Global benchmark variants.
+
+The real HPCC suite reports three modes for its local kernels:
+
+* **Single** — one process runs while the rest idle (per-CPU capability
+  with the whole node's memory system to itself);
+* **Star** — every process runs simultaneously (the "EP" mode the paper
+  reports; full-node contention included);
+* **Global** — the distributed version (where one exists).
+
+The paper's tables use Star for STREAM/DGEMM and Global for
+HPL/PTRANS/FFT/RandomAccess; this module adds the remaining cells so a
+complete HPCC output can be produced, and quantifies the Star/Single gap
+that node-level sharing causes (e.g. the Xeon's shared front-side bus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.system import MachineSpec
+from ..mpi.cluster import Cluster
+from .dgemm import DgemmConfig, dgemm_program
+from .fft import FFTConfig, fft_flops, run_fft
+from .randomaccess import RandomAccessConfig, run_randomaccess
+from .stream import StreamConfig, stream_program
+
+
+@dataclass(frozen=True)
+class VariantResult:
+    """Single/Star(/Global) values for one benchmark, one machine."""
+
+    benchmark: str
+    machine: str
+    nprocs: int
+    single: float
+    star: float              # per-process, all processes active
+    global_: float | None    # suite-level figure where one exists
+    unit: str
+
+    @property
+    def star_efficiency(self) -> float:
+        """Star / Single: how much node sharing costs (1.0 = free)."""
+        return self.star / self.single if self.single else 0.0
+
+
+def _single_rank_run(machine: MachineSpec, nprocs: int, program, *args):
+    """Run ``program`` on rank 0 only; other ranks just synchronise.
+
+    Rank 0 gets a solo communicator so any collectives inside the
+    program stay self-contained.
+    """
+    def driver(comm):
+        solo = yield from comm.split(color=0 if comm.rank == 0 else 1)
+        out = None
+        if comm.rank == 0:
+            out = yield from program(solo, *args)
+        yield from comm.barrier()
+        return out
+
+    cluster = Cluster(machine, nprocs)
+    return cluster.run(driver).results[0]
+
+
+def stream_variants(machine: MachineSpec, nprocs: int,
+                    cfg: StreamConfig | None = None) -> VariantResult:
+    """STREAM Triad in Single and Star modes (no Global variant)."""
+    cfg = cfg or StreamConfig()
+    # Single: the lone process sees the node's unshared memory system.
+    import dataclasses
+
+    unshared = dataclasses.replace(machine.node, stream_node_scale=1.0)
+    single_machine = dataclasses.replace(machine, node=unshared)
+    single = _single_rank_run(single_machine, nprocs, stream_program, cfg)
+    star_cluster = Cluster(machine, nprocs)
+    star_res = star_cluster.run(stream_program, cfg)
+    star = sum(r["stream_triad"] for r in star_res.results) / nprocs
+    return VariantResult(
+        benchmark="STREAM_Triad",
+        machine=machine.name,
+        nprocs=nprocs,
+        single=single["stream_triad"],
+        star=star,
+        global_=None,
+        unit="GB/s",
+    )
+
+
+def dgemm_variants(machine: MachineSpec, nprocs: int,
+                   cfg: DgemmConfig | None = None) -> VariantResult:
+    cfg = cfg or DgemmConfig()
+    single = _single_rank_run(machine, nprocs, dgemm_program, cfg)
+    star_res = Cluster(machine, nprocs).run(dgemm_program, cfg)
+    star = sum(star_res.results) / nprocs
+    return VariantResult(
+        benchmark="DGEMM",
+        machine=machine.name,
+        nprocs=nprocs,
+        single=single,
+        star=star,
+        global_=None,
+        unit="GFlop/s",
+    )
+
+
+def fft_variants(machine: MachineSpec, nprocs: int,
+                 n_local: int = 1 << 16) -> VariantResult:
+    """FFT in Single, Star (independent local FFTs) and Global modes."""
+    def local_fft(comm):
+        t0 = comm.now
+        yield from comm.compute(flops=fft_flops(n_local),
+                                nbytes=32.0 * n_local, kernel="fft")
+        return fft_flops(n_local) / (comm.now - t0) / 1e9
+
+    single = _single_rank_run(machine, nprocs, local_fft)
+    star_res = Cluster(machine, nprocs).run(local_fft)
+    star = sum(star_res.results) / nprocs
+    global_res = run_fft(machine, nprocs,
+                         FFTConfig(total_elements=n_local * nprocs)
+                         if (n_local * nprocs) % (nprocs * nprocs) == 0
+                         else FFTConfig(total_elements=nprocs * nprocs
+                                        * max(1, n_local // nprocs)))
+    return VariantResult(
+        benchmark="FFT",
+        machine=machine.name,
+        nprocs=nprocs,
+        single=single,
+        star=star,
+        global_=global_res.gflops,
+        unit="GFlop/s",
+    )
+
+
+def randomaccess_variants(machine: MachineSpec, nprocs: int,
+                          cfg: RandomAccessConfig | None = None
+                          ) -> VariantResult:
+    """RandomAccess: Single/Star are local GUPS; Global is the routed run."""
+    cfg = cfg or RandomAccessConfig(local_table_words=1024)
+    updates = cfg.local_table_words * cfg.updates_per_word
+
+    def local_updates(comm):
+        t0 = comm.now
+        yield from comm.compute(flops=updates, nbytes=8.0 * updates,
+                                kernel="random_access")
+        return updates / (comm.now - t0) / 1e9
+
+    single = _single_rank_run(machine, nprocs, local_updates)
+    star_res = Cluster(machine, nprocs).run(local_updates)
+    star = sum(star_res.results) / nprocs
+    global_res = run_randomaccess(machine, nprocs, cfg, mode="macro")
+    return VariantResult(
+        benchmark="RandomAccess",
+        machine=machine.name,
+        nprocs=nprocs,
+        single=single,
+        star=star,
+        global_=global_res.gups,
+        unit="GUP/s",
+    )
+
+
+def full_variant_table(machine: MachineSpec,
+                       nprocs: int) -> list[VariantResult]:
+    """All four variant rows, HPCC-output style."""
+    return [
+        stream_variants(machine, nprocs),
+        dgemm_variants(machine, nprocs),
+        fft_variants(machine, nprocs),
+        randomaccess_variants(machine, nprocs),
+    ]

@@ -1,0 +1,33 @@
+"""The Intel MPI Benchmarks (IMB 2.3 subset the paper uses)."""
+
+from .framework import (
+    BENCHMARKS,
+    IMB_MAX_MSG,
+    PAPER_MSG_BYTES,
+    IMBBenchmark,
+    IMBResult,
+    get_benchmark,
+    imb_message_sizes,
+)
+from .suite import (
+    PAPER_BENCHMARKS,
+    IMBSweep,
+    run_benchmark,
+    run_suite,
+    sweep_benchmark,
+)
+
+__all__ = [
+    "IMBBenchmark",
+    "IMBResult",
+    "IMBSweep",
+    "BENCHMARKS",
+    "PAPER_BENCHMARKS",
+    "PAPER_MSG_BYTES",
+    "IMB_MAX_MSG",
+    "imb_message_sizes",
+    "get_benchmark",
+    "run_benchmark",
+    "run_suite",
+    "sweep_benchmark",
+]

@@ -1,0 +1,57 @@
+"""Command-line IMB runner, mirroring the real IMB invocation style.
+
+Examples::
+
+    python -m repro.imb Alltoall --machine sx8 -p 64
+    python -m repro.imb Sendrecv --machine xeon -p 16 --sizes
+    python -m repro.imb --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..machine import MACHINES, get_machine
+from .framework import BENCHMARKS, PAPER_MSG_BYTES, imb_message_sizes
+from .suite import run_benchmark
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.imb",
+        description="Run an Intel MPI Benchmark on a simulated machine.",
+    )
+    ap.add_argument("benchmark", nargs="?", help="benchmark name")
+    ap.add_argument("--machine", default="sx8",
+                    help=f"one of: {', '.join(sorted(MACHINES))}")
+    ap.add_argument("-p", "--nprocs", type=int, default=16)
+    ap.add_argument("--msg", type=int, default=PAPER_MSG_BYTES,
+                    help="message size in bytes (default 1 MiB)")
+    ap.add_argument("--sizes", action="store_true",
+                    help="run the full IMB size schedule instead of --msg")
+    ap.add_argument("--max-size", type=int, default=4 * 1024 * 1024)
+    ap.add_argument("--list", action="store_true",
+                    help="list available benchmarks")
+    args = ap.parse_args(argv)
+
+    if args.list or not args.benchmark:
+        for name in sorted(BENCHMARKS):
+            print(name)
+        return 0 if args.list else 2
+
+    machine = get_machine(args.machine)
+    print(f"# {args.benchmark} on {machine.label}, {args.nprocs} CPUs")
+    header = f"{'bytes':>10s} {'t[us]':>14s} {'MB/s':>12s}"
+    print(header)
+    sizes = (imb_message_sizes(args.max_size) if args.sizes
+             else [args.msg])
+    for nbytes in sizes:
+        res = run_benchmark(machine, args.benchmark, args.nprocs, nbytes)
+        bw = f"{res.bandwidth_mbs:12.1f}" if res.bandwidth_mbs else " " * 12
+        print(f"{nbytes:>10d} {res.time_us:14.2f} {bw}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""IMB Collective Benchmarks (§3.2.3).
+
+Barrier, Bcast, Allgather, Allgatherv, Alltoall, Reduce, Reduce_scatter,
+Allreduce — the eight collectives whose 1 MB curves are the paper's
+Figures 6-12 and 15.
+
+Message-size semantics follow the paper's own wording:
+
+* Bcast/Reduce/Allreduce: ``msg_bytes`` is the full buffer.
+* Allgather(v): every process *inputs* ``msg_bytes`` and receives
+  ``msg_bytes * N``.
+* Alltoall: every process sends ``msg_bytes`` *to each* process
+  ("A bytes for each process", §3.2.3.2d).
+* Reduce_scatter: every process provides ``msg_bytes``; the result is
+  scattered in ``msg_bytes / N`` pieces.
+"""
+
+from __future__ import annotations
+
+from .framework import IMBBenchmark, register
+
+
+class Barrier(IMBBenchmark):
+    name = "Barrier"
+
+    def program(self, comm, nbytes: int, iterations: int):
+        t0 = comm.now
+        for _ in range(iterations):
+            yield from comm.barrier()
+        return comm.now - t0
+
+
+class Bcast(IMBBenchmark):
+    name = "Bcast"
+
+    def program(self, comm, nbytes: int, iterations: int):
+        t0 = comm.now
+        for i in range(iterations):
+            # IMB rotates the root; with deterministic timing the rotation
+            # only matters for asymmetric topologies, which we keep.
+            root = i % comm.size
+            yield from comm.bcast(nbytes=nbytes, root=root)
+        return comm.now - t0
+
+
+class Reduce(IMBBenchmark):
+    name = "Reduce"
+
+    def program(self, comm, nbytes: int, iterations: int):
+        t0 = comm.now
+        for i in range(iterations):
+            yield from comm.reduce(nbytes=nbytes, root=i % comm.size)
+        return comm.now - t0
+
+
+class Allreduce(IMBBenchmark):
+    name = "Allreduce"
+
+    def program(self, comm, nbytes: int, iterations: int):
+        t0 = comm.now
+        for _ in range(iterations):
+            yield from comm.allreduce(nbytes=nbytes)
+        return comm.now - t0
+
+
+class ReduceScatter(IMBBenchmark):
+    name = "Reduce_scatter"
+
+    def program(self, comm, nbytes: int, iterations: int):
+        t0 = comm.now
+        for _ in range(iterations):
+            yield from comm.reduce_scatter(nbytes=nbytes)
+        return comm.now - t0
+
+
+class Allgather(IMBBenchmark):
+    name = "Allgather"
+
+    def program(self, comm, nbytes: int, iterations: int):
+        t0 = comm.now
+        for _ in range(iterations):
+            yield from comm.allgather(nbytes=nbytes)
+        return comm.now - t0
+
+
+class Allgatherv(IMBBenchmark):
+    """Vector variant: same sizes, passed per rank — measures the extra
+    bookkeeping path (the paper notes it behaves like Allgather)."""
+
+    name = "Allgatherv"
+
+    def program(self, comm, nbytes: int, iterations: int):
+        counts = [nbytes] * comm.size
+        t0 = comm.now
+        for _ in range(iterations):
+            yield from comm.allgatherv(counts=counts)
+        return comm.now - t0
+
+
+class Alltoall(IMBBenchmark):
+    name = "Alltoall"
+
+    def program(self, comm, nbytes: int, iterations: int):
+        t0 = comm.now
+        for _ in range(iterations):
+            yield from comm.alltoall(nbytes=nbytes)
+        return comm.now - t0
+
+
+register(Barrier())
+register(Bcast())
+register(Reduce())
+register(Allreduce())
+register(ReduceScatter())
+register(Allgather())
+register(Allgatherv())
+register(Alltoall())

@@ -1,0 +1,75 @@
+"""IMB-IO benchmarks: the third part of the IMB suite (§3.2).
+
+The paper notes IMB has "(a) IMB for MPI-1, (b) MPI-2 one sided
+communication, and (c) MPI-2 I/O" and evaluates part (a); parts (b) and
+(c) were future work.  This module implements the core IMB-IO write/read
+family over the simulated parallel filesystem:
+
+* ``S_Write_indv`` / ``S_Read_indv`` — single active process;
+* ``P_Write_indv`` / ``P_Read_indv`` — all processes, disjoint file
+  regions, independent I/O;
+* ``C_Write_expl`` / ``C_Read_expl`` — collective I/O with explicit
+  offsets (two-phase node aggregation).
+"""
+
+from __future__ import annotations
+
+from ..io.mpiio import file_open
+from .framework import IMBBenchmark, register
+
+
+class _IOBenchmark(IMBBenchmark):
+    bytes_per_iteration = 1.0
+
+    #: "single" | "parallel" | "collective"
+    mode = "parallel"
+    #: "write" | "read"
+    direction = "write"
+
+    def program(self, comm, nbytes: int, iterations: int):
+        f = yield from file_open(comm, name=self.name)
+        offset = comm.rank * max(nbytes, 1)
+        yield from comm.barrier()
+        t0 = comm.now
+        for _ in range(iterations):
+            if self.mode == "single":
+                if comm.rank == 0:
+                    yield from self._op(f, 0, nbytes)
+            elif self.mode == "parallel":
+                yield from self._op(f, offset, nbytes)
+            else:
+                yield from self._op_collective(f, offset, nbytes)
+        elapsed = comm.now - t0
+        yield from f.close()
+        return elapsed
+
+    def _op(self, f, offset, nbytes):
+        if self.direction == "write":
+            yield from f.write_at(offset, nbytes=nbytes)
+        else:
+            yield from f.read_at(offset, nbytes)
+
+    def _op_collective(self, f, offset, nbytes):
+        if self.direction == "write":
+            yield from f.write_at_all(offset, nbytes=nbytes)
+        else:
+            yield from f.read_at_all(offset, nbytes)
+
+
+def _make(name: str, mode: str, direction: str) -> _IOBenchmark:
+    bench = _IOBenchmark()
+    bench.name = name
+    bench.mode = mode
+    bench.direction = direction
+    return bench
+
+
+S_WRITE = register(_make("S_Write_indv", "single", "write"))
+S_READ = register(_make("S_Read_indv", "single", "read"))
+P_WRITE = register(_make("P_Write_indv", "parallel", "write"))
+P_READ = register(_make("P_Read_indv", "parallel", "read"))
+C_WRITE = register(_make("C_Write_expl", "collective", "write"))
+C_READ = register(_make("C_Read_expl", "collective", "read"))
+
+IO_BENCHMARKS = ("S_Write_indv", "S_Read_indv", "P_Write_indv",
+                 "P_Read_indv", "C_Write_expl", "C_Read_expl")

@@ -1,0 +1,52 @@
+"""IMB-EXT one-sided benchmarks: Unidir_Put and Unidir_Get.
+
+IMB 2.x part (b) covers MPI-2 one-sided communication; the paper lists
+measuring GET/PUT as future work (§5.2).  These two benchmarks mirror
+IMB-EXT's unidirectional mode: rank 0 drives RMA traffic at rank 1 inside
+a fence epoch; time is per complete epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.onesided import win_create
+from .framework import IMBBenchmark, register
+
+
+class UnidirPut(IMBBenchmark):
+    name = "Unidir_Put"
+    bytes_per_iteration = 1.0
+
+    def program(self, comm, nbytes: int, iterations: int):
+        n = max(nbytes // 8, 1)
+        win = yield from win_create(comm, n)
+        data = np.ones(n)
+        yield from comm.barrier()
+        t0 = comm.now
+        for _ in range(iterations):
+            if comm.rank == 0:
+                win.put(1 % comm.size, data)
+            yield from win.fence()
+        return comm.now - t0
+
+
+class UnidirGet(IMBBenchmark):
+    name = "Unidir_Get"
+    bytes_per_iteration = 1.0
+
+    def program(self, comm, nbytes: int, iterations: int):
+        n = max(nbytes // 8, 1)
+        win = yield from win_create(comm, n)
+        yield from comm.barrier()
+        t0 = comm.now
+        for _ in range(iterations):
+            if comm.rank == 0:
+                req = win.get(1 % comm.size, n)
+                yield req
+            yield from win.fence()
+        return comm.now - t0
+
+
+register(UnidirPut())
+register(UnidirGet())

@@ -1,0 +1,50 @@
+"""IMB Single Transfer Benchmarks: PingPong and PingPing (§3.2.1).
+
+Both involve exactly two active processes; with more ranks the rest idle
+(as in IMB, which runs single-transfer benchmarks on a 2-process subset).
+"""
+
+from __future__ import annotations
+
+from .framework import IMBBenchmark, register
+
+
+class PingPong(IMBBenchmark):
+    """A message bounces between two processes; time is half round trip."""
+
+    name = "PingPong"
+    bytes_per_iteration = 1.0  # x msg_bytes
+
+    def program(self, comm, nbytes: int, iterations: int):
+        t0 = comm.now
+        if comm.rank == 0:
+            for i in range(iterations):
+                yield from comm.send(1, nbytes=nbytes, tag=i)
+                yield from comm.recv(1, tag=i)
+        elif comm.rank == 1:
+            for i in range(iterations):
+                yield from comm.recv(0, tag=i)
+                yield from comm.send(0, nbytes=nbytes, tag=i)
+        # IMB reports half the round-trip time.
+        return (comm.now - t0) / 2.0
+
+
+class PingPing(IMBBenchmark):
+    """Both processes send simultaneously — messages obstruct each other."""
+
+    name = "PingPing"
+    bytes_per_iteration = 1.0
+
+    def program(self, comm, nbytes: int, iterations: int):
+        t0 = comm.now
+        if comm.rank in (0, 1):
+            other = 1 - comm.rank
+            for i in range(iterations):
+                rreq = comm.irecv(other, tag=i)
+                sreq = comm.isend(other, nbytes=nbytes, tag=i)
+                yield from comm.waitall([sreq, rreq])
+        return comm.now - t0
+
+
+register(PingPong())
+register(PingPing())

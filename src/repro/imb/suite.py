@@ -1,0 +1,96 @@
+"""IMB suite driver: run any benchmark over machines / rank counts."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..machine.system import MachineSpec
+from .framework import BENCHMARKS, PAPER_MSG_BYTES, IMBResult, get_benchmark
+
+# Import for registration side effects.
+from . import collective as _collective  # noqa: F401
+from . import io_benchmarks as _io  # noqa: F401
+from . import onesided as _onesided  # noqa: F401
+from . import parallel_transfer as _parallel  # noqa: F401
+from . import single_transfer as _single  # noqa: F401
+
+#: The 12 benchmarks the paper uses (11 communication functions + Barrier).
+PAPER_BENCHMARKS = (
+    "PingPong",
+    "PingPing",
+    "Sendrecv",
+    "Exchange",
+    "Barrier",
+    "Bcast",
+    "Allgather",
+    "Allgatherv",
+    "Alltoall",
+    "Reduce",
+    "Reduce_scatter",
+    "Allreduce",
+)
+
+
+@dataclass(frozen=True)
+class IMBSweep:
+    """Results of one benchmark across rank counts on one machine."""
+
+    benchmark: str
+    machine: str
+    msg_bytes: int
+    points: tuple[IMBResult, ...]
+
+    def series(self, field: str = "time_us") -> list[tuple[int, float]]:
+        return [(p.nprocs, getattr(p, field)) for p in self.points]
+
+
+def run_benchmark(
+    machine: MachineSpec,
+    benchmark: str,
+    nprocs: int,
+    msg_bytes: int = PAPER_MSG_BYTES,
+    iterations: int = 1,
+) -> IMBResult:
+    return get_benchmark(benchmark).run(
+        machine, nprocs, msg_bytes, iterations=iterations
+    )
+
+
+def sweep_benchmark(
+    machine: MachineSpec,
+    benchmark: str,
+    cpu_counts: Sequence[int] | None = None,
+    msg_bytes: int = PAPER_MSG_BYTES,
+    iterations: int = 1,
+    max_cpus: int | None = None,
+) -> IMBSweep:
+    """Run one benchmark over a CPU-count sweep (the paper's x-axes)."""
+    bench = get_benchmark(benchmark)
+    if cpu_counts is None:
+        cpu_counts = machine.cpu_counts(start=bench.min_procs, maximum=max_cpus)
+    points = tuple(
+        bench.run(machine, p, msg_bytes, iterations=iterations)
+        for p in cpu_counts
+        if p <= machine.max_cpus
+    )
+    return IMBSweep(
+        benchmark=benchmark,
+        machine=machine.name,
+        msg_bytes=msg_bytes,
+        points=points,
+    )
+
+
+def run_suite(
+    machine: MachineSpec,
+    nprocs: int,
+    benchmarks: Iterable[str] = PAPER_BENCHMARKS,
+    msg_bytes: int = PAPER_MSG_BYTES,
+) -> dict[str, IMBResult]:
+    """Run a set of benchmarks at one size/rank count."""
+    return {
+        name: run_benchmark(machine, name, nprocs, msg_bytes)
+        for name in benchmarks
+        if nprocs >= BENCHMARKS[name].min_procs
+    }

@@ -1,0 +1,18 @@
+"""Storage substrate: parallel filesystem model and MPI-IO."""
+
+from .filesystem import (
+    DEFAULT_FILESYSTEM,
+    HLRS_FILESYSTEM,
+    FileSystemModel,
+    FileSystemSpec,
+)
+from .mpiio import SimFile, file_open
+
+__all__ = [
+    "FileSystemSpec",
+    "FileSystemModel",
+    "DEFAULT_FILESYSTEM",
+    "HLRS_FILESYSTEM",
+    "SimFile",
+    "file_open",
+]

@@ -1,0 +1,110 @@
+"""Parallel filesystem model.
+
+The paper's §2.5 describes the HLRS installation's storage: "a total of
+16 1-TB file systems ... Each file system can sustain 400-600 MB/s
+throughputs for large block I/O."  This module models that class of
+system — a set of striped file servers (OSTs) shared by all compute
+nodes — with the same resource machinery as the interconnect:
+
+* each server is a FIFO :class:`BandwidthResource`;
+* each compute node's I/O path (NIC to the storage fabric) caps a
+  single client's throughput;
+* metadata operations (open/close/seek) cost a fixed latency.
+
+Files are striped round-robin across servers in ``stripe_size`` blocks,
+so single-client bandwidth is limited by ``min(client_bw, servers it
+can keep busy)`` and aggregate bandwidth saturates at the server total —
+the behaviour every parallel filesystem of the era exhibited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigError
+from ..core.units import GB_S, MB_S, US
+from ..network.resources import BandwidthResource
+
+
+@dataclass(frozen=True)
+class FileSystemSpec:
+    """Static description of a machine's storage subsystem."""
+
+    name: str = "shared-fs"
+    n_servers: int = 16            # HLRS: 16 file systems
+    server_mbs: float = 500.0      # paper: 400-600 MB/s each
+    client_gbs: float = 0.4        # one node's I/O path
+    metadata_latency_us: float = 250.0
+    stripe_size: int = 1 << 20     # striping block
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ConfigError("need at least one file server")
+        if self.server_mbs <= 0 or self.client_gbs <= 0:
+            raise ConfigError("bandwidths must be positive")
+        if self.stripe_size < 1:
+            raise ConfigError("stripe size must be >= 1 byte")
+        if self.metadata_latency_us < 0:
+            raise ConfigError("metadata latency must be >= 0")
+
+    @property
+    def aggregate_mbs(self) -> float:
+        return self.n_servers * self.server_mbs
+
+
+#: Default spec used when a machine does not define storage.
+DEFAULT_FILESYSTEM = FileSystemSpec()
+
+#: The HLRS storage the paper describes alongside the NEC SX-8.
+HLRS_FILESYSTEM = FileSystemSpec(
+    name="HLRS workspace",
+    n_servers=16,
+    server_mbs=500.0,
+    client_gbs=0.8,
+    metadata_latency_us=300.0,
+)
+
+
+class FileSystemModel:
+    """Live storage state for one cluster run."""
+
+    def __init__(self, spec: FileSystemSpec, n_nodes: int) -> None:
+        self.spec = spec
+        self.servers = [
+            BandwidthResource(f"ost[{i}]", spec.server_mbs * MB_S)
+            for i in range(spec.n_servers)
+        ]
+        self.clients = [
+            BandwidthResource(f"ioclient[{i}]", spec.client_gbs * GB_S)
+            for i in range(n_nodes)
+        ]
+
+    def metadata_time(self) -> float:
+        return self.spec.metadata_latency_us * US
+
+    def transfer(self, node: int, offset: int, nbytes: int,
+                 t_ready: float) -> float:
+        """Completion time of one contiguous read/write.
+
+        The request is split into stripe blocks; each block reserves its
+        server and the client path independently (work-conserving FIFO,
+        as in the network fabric).  Returns the absolute completion time.
+        """
+        if nbytes <= 0:
+            return t_ready
+        spec = self.spec
+        client = self.clients[node]
+        end = t_ready
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            in_block = spec.stripe_size - (pos % spec.stripe_size)
+            chunk = min(remaining, in_block)
+            server = self.servers[(pos // spec.stripe_size)
+                                  % spec.n_servers]
+            _s0, e0 = client.reserve(chunk, t_ready)
+            _s1, e1 = server.reserve(chunk, t_ready)
+            end = max(end, e0, e1)
+            pos += chunk
+            remaining -= chunk
+        return end

@@ -1,0 +1,153 @@
+"""MPI-IO over the simulated filesystem.
+
+The subset IMB-IO exercises: collective file open/close, independent
+``write_at``/``read_at``, and collective ``write_at_all``/``read_at_all``
+with two-phase aggregation (ranks on one node merge their requests so
+each node issues one contiguous stream — the optimisation every MPI-IO
+implementation of the era shipped).
+
+Contents are tracked logically (byte counts only); data integrity of the
+transport is covered by the MPI-layer tests, and file *content* checks
+live in the bytearray-backed ``verify`` mode of :class:`SimFile`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import MPIError
+from .filesystem import FileSystemModel
+
+
+class SimFile:
+    """An open MPI file handle for one rank.
+
+    With ``verify=True`` the file carries a real shared ``bytearray`` so
+    tests can check what landed where.
+    """
+
+    def __init__(self, comm, fs: FileSystemModel, fid: Any,
+                 verify: bool = False) -> None:
+        self.comm = comm
+        self.fs = fs
+        self.fid = fid
+        registry = comm.cluster.__dict__.setdefault("_sim_files", {})
+        if verify:
+            registry.setdefault(fid, bytearray())
+        self._store = registry.get(fid)
+        self._closed = False
+
+    # -- helpers -----------------------------------------------------------
+
+    def _node(self) -> int:
+        return self.comm.cluster.placement[self.comm.world_rank]
+
+    def _io(self, offset: int, nbytes: int):
+        """Charge one contiguous transfer (generator)."""
+        if self._closed:
+            raise MPIError("I/O on a closed file")
+        if offset < 0 or nbytes < 0:
+            raise MPIError("negative offset/size")
+        engine = self.comm.cluster.engine
+        end = self.fs.transfer(self._node(), offset, nbytes, engine.now)
+        yield max(0.0, end - engine.now)
+
+    def _record(self, offset: int, data: Any, nbytes: int) -> None:
+        if self._store is None:
+            return
+        if isinstance(data, np.ndarray):
+            raw = data.tobytes()
+        elif isinstance(data, (bytes, bytearray)):
+            raw = bytes(data)
+        else:
+            raw = bytes(nbytes)
+        if len(self._store) < offset + len(raw):
+            self._store.extend(b"\0" * (offset + len(raw) - len(self._store)))
+        self._store[offset:offset + len(raw)] = raw
+
+    # -- independent I/O ------------------------------------------------------
+
+    def write_at(self, offset: int, data: Any = None,
+                 nbytes: int | None = None):
+        """Independent write (generator)."""
+        from ..mpi.datatypes import resolve_nbytes
+
+        n = resolve_nbytes(data, nbytes)
+        yield from self._io(offset, n)
+        self._record(offset, data, n)
+
+    def read_at(self, offset: int, nbytes: int):
+        """Independent read (generator); returns bytes in verify mode."""
+        yield from self._io(offset, nbytes)
+        if self._store is not None:
+            return bytes(self._store[offset:offset + nbytes])
+        return None
+
+    # -- collective I/O ----------------------------------------------------------
+
+    def write_at_all(self, offset: int, data: Any = None,
+                     nbytes: int | None = None):
+        """Collective write: every rank participates (generator).
+
+        Two-phase: ranks sharing a node aggregate into one stream per
+        node (the node's lowest rank issues it), then everyone
+        synchronises.  ``offset`` is this rank's own file offset.
+        """
+        from ..mpi.datatypes import resolve_nbytes
+
+        n = resolve_nbytes(data, nbytes)
+        comm = self.comm
+        placement = comm.cluster.placement
+        my_node = self._node()
+        node_ranks = [r for r in range(comm.size)
+                      if placement[comm._world_ranks[r]] == my_node]
+        aggregator = node_ranks[0]
+        # gather the node's sizes at the aggregator (tiny shm messages)
+        if comm.rank == aggregator:
+            total = n * len(node_ranks)
+            yield from self._io(offset, total)
+        self._record(offset, data, n)
+        yield from comm.barrier()
+
+    def read_at_all(self, offset: int, nbytes: int):
+        """Collective read (generator)."""
+        comm = self.comm
+        placement = comm.cluster.placement
+        my_node = self._node()
+        node_ranks = [r for r in range(comm.size)
+                      if placement[comm._world_ranks[r]] == my_node]
+        if comm.rank == node_ranks[0]:
+            yield from self._io(offset, nbytes * len(node_ranks))
+        yield from comm.barrier()
+        if self._store is not None:
+            return bytes(self._store[offset:offset + nbytes])
+        return None
+
+    def close(self):
+        """Collective close (generator)."""
+        yield self.fs.metadata_time()
+        yield from self.comm.barrier()
+        self._closed = True
+
+
+def file_open(comm, name: str = "testfile", verify: bool = False):
+    """Collective open (generator); returns a :class:`SimFile`."""
+    cluster = comm.cluster
+    fs_model = cluster.__dict__.get("_fs_model")
+    if fs_model is None or fs_model.spec is not _fs_spec(cluster):
+        fs_model = FileSystemModel(_fs_spec(cluster), cluster.n_nodes)
+        cluster.__dict__["_fs_model"] = fs_model
+    count = comm.__dict__.setdefault("_file_count", 0) + 1
+    comm._file_count = count
+    handle = SimFile(comm, fs_model, fid=(name, count), verify=verify)
+    yield fs_model.metadata_time()
+    yield from comm.barrier()
+    return handle
+
+
+def _fs_spec(cluster):
+    from .filesystem import DEFAULT_FILESYSTEM
+
+    return cluster.machine.extra.get("filesystem", DEFAULT_FILESYSTEM)

@@ -1,0 +1,38 @@
+"""Machine models: processors, SMP nodes, interconnects, and the catalog
+of the paper's five platforms."""
+
+from .catalog import (
+    ALL_MACHINES,
+    ALTIX_NL3,
+    ALTIX_NL4,
+    MACHINES,
+    OPTERON,
+    PAPER_FIVE,
+    SX8,
+    X1_MSP,
+    X1_SSP,
+    XEON,
+    get_machine,
+)
+from .node import NodeSpec
+from .processor import KERNELS, ProcessorSpec
+from .system import MachineSpec, NetworkSpec
+
+__all__ = [
+    "ProcessorSpec",
+    "NodeSpec",
+    "NetworkSpec",
+    "MachineSpec",
+    "KERNELS",
+    "get_machine",
+    "MACHINES",
+    "PAPER_FIVE",
+    "ALL_MACHINES",
+    "ALTIX_NL4",
+    "ALTIX_NL3",
+    "X1_MSP",
+    "X1_SSP",
+    "OPTERON",
+    "XEON",
+    "SX8",
+]

@@ -1,0 +1,54 @@
+"""Performance-fault injection: stragglers and degraded links.
+
+Measurement papers of this era fought "system noise": one slow node (bad
+DIMM timings, a daemon, a flaky NIC) drags every synchronising collective
+down.  These helpers degrade a live fabric after construction, so tests
+and studies can quantify how much of a benchmark's time is hostage to the
+slowest participant.
+
+Usage::
+
+    cluster = Cluster(machine, 64)
+    cluster.run(program, fabric_setup=lambda f: slow_node(f, node=3,
+                                                          factor=4.0))
+    # or degrade only the node's CPU via Cluster(compute_derate=...)
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigError
+from ..network.netmodel import Fabric
+
+
+def slow_node(fabric: Fabric, node: int, factor: float) -> Fabric:
+    """Divide one node's NIC (and bus/shm) bandwidth by ``factor``."""
+    if factor < 1.0:
+        raise ConfigError("slow-down factor must be >= 1")
+    if not (0 <= node < fabric.n_nodes):
+        raise ConfigError(f"node {node} out of range")
+    fabric._egress[node].bandwidth /= factor
+    fabric._ingress[node].bandwidth /= factor
+    if fabric._bus is not None:
+        fabric._bus[node].bandwidth /= factor
+    fabric._shm[node].bandwidth /= factor
+    return fabric
+
+
+def degrade_core(fabric: Fabric, level: int, factor: float) -> Fabric:
+    """Divide one core tier's aggregate capacity by ``factor`` (e.g. a
+    failed spine switch leaving the tree oversubscribed)."""
+    if factor < 1.0:
+        raise ConfigError("slow-down factor must be >= 1")
+    fabric.core_resource(level).bandwidth /= factor
+    return fabric
+
+
+def add_latency(fabric: Fabric, extra_seconds: float) -> Fabric:
+    """Add a fixed latency penalty to every inter-node message (e.g. a
+    misconfigured adaptive-routing fallback)."""
+    if extra_seconds < 0:
+        raise ConfigError("extra latency must be >= 0")
+    params = fabric.params
+    object.__setattr__(params, "base_latency",
+                       params.base_latency + extra_seconds)
+    return fabric

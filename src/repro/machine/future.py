@@ -1,0 +1,287 @@
+"""Projections of the paper's future-work systems (§5.2).
+
+"In the future we plan to ... include five more architectures — Linux
+clusters with different networks, IBM Blue Gene/P, Cray XT4, Cray X1E
+and a cluster of IBM POWER5+."  The authors never published that sequel;
+these specs execute it inside the simulator.
+
+Unlike :mod:`repro.machine.catalog`, nothing here is calibrated against
+measured anchors from the paper — the constants are projections from the
+public architecture documents of each system (clock rates, link speeds,
+published MPI latencies), clearly labelled as such.  They are exercised
+by ``tests/test_future_machines.py`` and the
+``examples/future_systems.py`` sequel study.
+"""
+
+from __future__ import annotations
+
+from .node import NodeSpec
+from .processor import ProcessorSpec
+from .system import MachineSpec, NetworkSpec
+
+# ---------------------------------------------------------------------------
+# IBM Blue Gene/P — 3-D torus, modest cores, extreme scale-out
+# ---------------------------------------------------------------------------
+
+_BGP_PROC = ProcessorSpec(
+    name="PowerPC 450 (850 MHz)",
+    clock_ghz=0.85,
+    peak_gflops=3.4,
+    is_vector=False,
+    dgemm_eff=0.90,
+    hpl_eff=0.78,          # BG/P Linpack runs sustained ~78-82%
+    fft_eff=0.05,
+    stream_copy_gbs=2.9,
+    stream_triad_gbs=2.6,
+    random_update_gups=0.01,
+)
+
+_BGP_NODE = NodeSpec(
+    cpus=4,
+    memory_gb=2.0,
+    shm_flow_gbs=2.0,
+    shm_node_gbs=5.0,
+    shm_latency_us=0.8,
+    memcpy_gbs=4.0,
+)
+
+_BGP_NET = NetworkSpec(
+    name="BG/P 3D torus",
+    topology_kind="torus3d",
+    link_gbs=0.425,          # 3.4 Gb/s per torus link
+    nic_gbs=2.4,             # six links feed one node
+    base_latency_us=2.5,
+    per_hop_latency_us=0.1,
+    send_overhead_us=0.8,
+    recv_overhead_us=0.8,
+    eager_threshold=1200,
+    bw_efficiency=0.85,
+)
+
+BLUEGENE_P = MachineSpec(
+    name="bluegene_p",
+    label="IBM Blue Gene/P (projection)",
+    system_type="Scalar",
+    processor=_BGP_PROC,
+    node=_BGP_NODE,
+    network=_BGP_NET,
+    max_cpus=4096,
+    topology_label="3D-torus",
+    operating_system="CNK/Linux",
+    location="(projection)",
+    processor_vendor="IBM",
+    system_vendor="IBM",
+    notes="Future-work projection; not calibrated against the paper.",
+)
+
+# ---------------------------------------------------------------------------
+# Cray XT4 — SeaStar2 3-D torus, dual-core Opterons
+# ---------------------------------------------------------------------------
+
+_XT4_PROC = ProcessorSpec(
+    name="AMD Opteron dual-core (2.6 GHz)",
+    clock_ghz=2.6,
+    peak_gflops=5.2,
+    is_vector=False,
+    dgemm_eff=0.90,
+    hpl_eff=0.75,
+    fft_eff=0.04,
+    stream_copy_gbs=2.8,
+    stream_triad_gbs=2.5,
+    random_update_gups=0.015,
+)
+
+_XT4_NODE = NodeSpec(
+    cpus=2,
+    memory_gb=4.0,
+    shm_flow_gbs=1.8,
+    shm_node_gbs=3.5,
+    shm_latency_us=0.7,
+    memcpy_gbs=3.5,
+)
+
+_XT4_NET = NetworkSpec(
+    name="SeaStar2 3D torus",
+    topology_kind="torus3d",
+    link_gbs=3.8,
+    nic_gbs=2.0,
+    base_latency_us=4.5,
+    per_hop_latency_us=0.06,
+    send_overhead_us=1.0,
+    recv_overhead_us=1.0,
+    eager_threshold=16 * 1024,
+    bw_efficiency=0.80,
+)
+
+CRAY_XT4 = MachineSpec(
+    name="cray_xt4",
+    label="Cray XT4 (projection)",
+    system_type="Scalar",
+    processor=_XT4_PROC,
+    node=_XT4_NODE,
+    network=_XT4_NET,
+    max_cpus=2048,
+    topology_label="3D-torus",
+    operating_system="CNL",
+    location="(projection)",
+    processor_vendor="AMD",
+    system_vendor="Cray",
+    notes="Future-work projection; not calibrated against the paper.",
+)
+
+# ---------------------------------------------------------------------------
+# Cray X1E — the doubled X1: same network, 2x denser MSPs
+# ---------------------------------------------------------------------------
+
+_X1E_PROC = ProcessorSpec(
+    name="Cray X1E MSP (1.13 GHz)",
+    clock_ghz=1.13,
+    peak_gflops=18.0,
+    is_vector=True,
+    dgemm_eff=0.94,
+    hpl_eff=0.88,
+    fft_eff=0.45,
+    stream_copy_gbs=22.0,    # same memory system feeds 2x the peak
+    stream_triad_gbs=20.0,
+    random_update_gups=0.002,
+    scalar_gflops=1.6,
+)
+
+_X1E_NODE = NodeSpec(
+    cpus=8,                  # two MSP modules per node board
+    memory_gb=32.0,
+    shm_flow_gbs=9.0,
+    shm_node_gbs=32.0,
+    shm_latency_us=4.0,
+    memcpy_gbs=16.0,
+    stream_node_scale=0.85,  # denser boards share the memory ports
+)
+
+_X1E_NET = NetworkSpec(
+    name="Cray X1E network",
+    topology_kind="hypercube",
+    link_gbs=8.0,
+    nic_gbs=8.0,
+    base_latency_us=6.0,
+    per_hop_latency_us=0.5,
+    send_overhead_us=1.2,
+    recv_overhead_us=1.2,
+    eager_threshold=64 * 1024,
+    bw_efficiency=0.80,
+    duplex_factor=1.3,
+)
+
+CRAY_X1E = MachineSpec(
+    name="cray_x1e",
+    label="Cray X1E (projection)",
+    system_type="Vector",
+    processor=_X1E_PROC,
+    node=_X1E_NODE,
+    network=_X1E_NET,
+    max_cpus=128,
+    topology_label="4D-hypercube",
+    operating_system="UNICOS",
+    location="(projection)",
+    processor_vendor="Cray",
+    system_vendor="Cray",
+    notes="Future-work projection; the X1 with doubled compute density.",
+)
+
+# ---------------------------------------------------------------------------
+# IBM POWER5+ cluster — fat SMP nodes on the HPS federation switch
+# ---------------------------------------------------------------------------
+
+_P5_PROC = ProcessorSpec(
+    name="IBM POWER5+ (1.9 GHz)",
+    clock_ghz=1.9,
+    peak_gflops=7.6,
+    is_vector=False,
+    dgemm_eff=0.92,
+    hpl_eff=0.80,
+    fft_eff=0.05,
+    stream_copy_gbs=5.0,
+    stream_triad_gbs=4.5,
+    random_update_gups=0.012,
+)
+
+_P5_NODE = NodeSpec(
+    cpus=16,
+    memory_gb=64.0,
+    shm_flow_gbs=3.5,
+    shm_node_gbs=25.0,
+    shm_latency_us=1.2,
+    memcpy_gbs=6.0,
+    stream_node_scale=0.9,
+)
+
+_P5_NET = NetworkSpec(
+    name="HPS federation",
+    topology_kind="fattree",
+    link_gbs=2.0,
+    nic_gbs=4.0,             # two links per node
+    base_latency_us=4.0,
+    per_hop_latency_us=0.3,
+    send_overhead_us=1.0,
+    recv_overhead_us=1.0,
+    eager_threshold=64 * 1024,
+    bw_efficiency=0.85,
+    group_sizes=(16, 16),
+    level_blocking=(1.0, 2.0),
+)
+
+POWER5_CLUSTER = MachineSpec(
+    name="power5",
+    label="IBM POWER5+ cluster (projection)",
+    system_type="Scalar",
+    processor=_P5_PROC,
+    node=_P5_NODE,
+    network=_P5_NET,
+    max_cpus=1024,
+    topology_label="Fat-tree",
+    operating_system="AIX",
+    location="(projection)",
+    processor_vendor="IBM",
+    system_vendor="IBM",
+    notes="Future-work projection; not calibrated against the paper.",
+)
+
+# ---------------------------------------------------------------------------
+# Gigabit-Ethernet Linux cluster — the "different networks" data point
+# ---------------------------------------------------------------------------
+
+_GIGE_NET = NetworkSpec(
+    name="Gigabit Ethernet",
+    topology_kind="fattree",
+    link_gbs=0.125,
+    nic_gbs=0.125,
+    base_latency_us=35.0,    # TCP stack latency
+    per_hop_latency_us=2.0,
+    send_overhead_us=8.0,    # kernel copies
+    recv_overhead_us=8.0,
+    eager_threshold=64 * 1024,
+    bw_efficiency=0.9,
+    duplex_factor=1.6,
+    group_sizes=(24, 16),
+    level_blocking=(1.0, 4.0),
+)
+
+GIGE_CLUSTER = MachineSpec(
+    name="gige",
+    label="GigE Linux cluster (projection)",
+    system_type="Scalar",
+    processor=_XT4_PROC,     # same commodity Opterons
+    node=_XT4_NODE,
+    network=_GIGE_NET,
+    max_cpus=512,
+    topology_label="Flat-tree",
+    operating_system="Linux",
+    location="(projection)",
+    processor_vendor="AMD",
+    system_vendor="whitebox",
+    notes="Future-work projection: commodity nodes on a TCP network.",
+)
+
+FUTURE_MACHINES = (BLUEGENE_P, CRAY_XT4, CRAY_X1E, POWER5_CLUSTER,
+                   GIGE_CLUSTER)
+
+FUTURE_BY_NAME = {m.name: m for m in FUTURE_MACHINES}

@@ -1,0 +1,56 @@
+"""SMP node model: CPU count, memory, intra-node communication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigError
+from ..core.units import GB_S, GIB, US
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One SMP node (the unit attached to the interconnect)."""
+
+    cpus: int                   # CPUs per node (paper Table 2)
+    memory_gb: float            # usable memory per node
+    shm_flow_gbs: float         # one intra-node MPI stream (GB/s)
+    shm_node_gbs: float         # aggregate intra-node MPI bandwidth (GB/s)
+    shm_latency_us: float       # intra-node zero-byte latency (us)
+    memcpy_gbs: float           # local buffer copy bandwidth (GB/s)
+    stream_node_scale: float = 1.0  # per-CPU STREAM multiplier, full node
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ConfigError("node needs at least one CPU")
+        if self.memory_gb <= 0:
+            raise ConfigError("node memory must be positive")
+        for attr in ("shm_flow_gbs", "shm_node_gbs", "memcpy_gbs"):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{attr} must be positive")
+        if self.shm_latency_us < 0:
+            raise ConfigError("shm_latency_us must be >= 0")
+        if not (0.0 < self.stream_node_scale <= 1.0):
+            raise ConfigError("stream_node_scale must be in (0, 1]")
+        if self.shm_flow_gbs > self.shm_node_gbs:
+            raise ConfigError("per-flow shm bandwidth exceeds node aggregate")
+
+    @property
+    def shm_flow_bw(self) -> float:
+        return self.shm_flow_gbs * GB_S
+
+    @property
+    def shm_node_bw(self) -> float:
+        return self.shm_node_gbs * GB_S
+
+    @property
+    def shm_latency(self) -> float:
+        return self.shm_latency_us * US
+
+    @property
+    def memcpy_bw(self) -> float:
+        return self.memcpy_gbs * GB_S
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gb * GIB

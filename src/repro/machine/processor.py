@@ -1,0 +1,143 @@
+"""Processor and memory-subsystem model.
+
+A :class:`ProcessorSpec` holds per-CPU peak rates plus per-kernel-class
+efficiency factors, and converts a ``(flops, bytes, kernel)`` work item
+into virtual time with a roofline rule::
+
+    time = max(flops / rate(kernel), bytes / mem_bw(kernel))
+
+The kernel classes follow the locality taxonomy the paper uses (§1):
+``dgemm``/``hpl`` (high temporal+spatial locality), ``stream_*``/``ptrans``
+(low temporal, high spatial), ``random_access`` (low/low), ``fft`` (high
+temporal, low spatial) plus ``reduction`` for MPI reduce operators and
+``generic`` as a conservative default.
+
+Vector machines get a separate ``scalar_gflops`` rate: code that does not
+vectorise (the paper calls out HPCC's FFT and RandomAccess) pays the
+scalar-unit penalty, which on the Cray X1 is 1/8 of the vector rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigError
+from ..core.units import GB_S, GFLOP
+
+#: Kernel classes accepted by :meth:`ProcessorSpec.compute_time`.
+KERNELS = (
+    "generic",
+    "dgemm",
+    "hpl",
+    "fft",
+    "stream_copy",
+    "stream_scale",
+    "stream_add",
+    "stream_triad",
+    "ptrans",
+    "random_access",
+    "reduction",
+)
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Per-CPU compute and memory-subsystem parameters."""
+
+    name: str
+    clock_ghz: float
+    peak_gflops: float          # per-CPU peak (paper Table 2 "Peak/node" / CPUs)
+    is_vector: bool
+    dgemm_eff: float            # fraction of peak achieved by DGEMM
+    hpl_eff: float              # fraction of peak for HPL *local* compute
+    fft_eff: float              # fraction of peak for FFT butterflies
+    stream_copy_gbs: float      # sustainable STREAM Copy per CPU (GB/s)
+    stream_triad_gbs: float     # sustainable STREAM Triad per CPU (GB/s)
+    random_update_gups: float   # local GUP/s per CPU (table in cache-miss regime)
+    scalar_gflops: float | None = None  # non-vectorised rate (vector CPUs only)
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.clock_ghz <= 0:
+            raise ConfigError(f"{self.name}: peak/clock must be positive")
+        for attr in ("dgemm_eff", "hpl_eff", "fft_eff"):
+            v = getattr(self, attr)
+            if not (0.0 < v <= 1.0):
+                raise ConfigError(f"{self.name}: {attr}={v} outside (0, 1]")
+        if self.stream_copy_gbs <= 0 or self.stream_triad_gbs <= 0:
+            raise ConfigError(f"{self.name}: stream rates must be positive")
+        if self.random_update_gups <= 0:
+            raise ConfigError(f"{self.name}: random_update_gups must be positive")
+        if self.is_vector and self.scalar_gflops is None:
+            raise ConfigError(
+                f"{self.name}: vector processors need a scalar_gflops rate"
+            )
+
+    # -- derived rates (SI units) --------------------------------------------
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_gflops * GFLOP
+
+    @property
+    def scalar_flops(self) -> float:
+        if self.scalar_gflops is not None:
+            return self.scalar_gflops * GFLOP
+        return self.peak_flops
+
+    @property
+    def stream_copy_bw(self) -> float:
+        return self.stream_copy_gbs * GB_S
+
+    @property
+    def stream_triad_bw(self) -> float:
+        return self.stream_triad_gbs * GB_S
+
+    def kernel_flops(self, kernel: str) -> float:
+        """Achievable flop rate for a kernel class (flop/s)."""
+        if kernel in ("dgemm",):
+            return self.peak_flops * self.dgemm_eff
+        if kernel in ("hpl",):
+            return self.peak_flops * self.hpl_eff
+        if kernel == "fft":
+            # The paper notes HPCC's FFT "does not completely vectorize";
+            # on vector CPUs the butterflies run near the scalar unit.
+            base = self.scalar_flops if self.is_vector else self.peak_flops
+            return max(base * self.fft_eff, self.peak_flops * self.fft_eff * 0.1)
+        if kernel == "random_access":
+            return self.scalar_flops if self.is_vector else self.peak_flops
+        if kernel in ("reduction", "stream_copy", "stream_scale",
+                      "stream_add", "stream_triad", "ptrans"):
+            return self.peak_flops  # bandwidth bound; flops rarely binding
+        return 0.25 * self.peak_flops  # generic scalar-ish code
+
+    def kernel_mem_bw(self, kernel: str) -> float:
+        """Achievable memory bandwidth for a kernel class (bytes/s)."""
+        if kernel in ("stream_copy", "stream_scale"):
+            return self.stream_copy_bw
+        if kernel in ("stream_add", "stream_triad", "reduction", "ptrans"):
+            return self.stream_triad_bw
+        if kernel == "random_access":
+            # 8-byte updates at the random-update rate (read+modify+write).
+            return self.random_update_gups * 1e9 * 8.0
+        if kernel == "fft":
+            # Strided passes; vector machines still stream well, scalar
+            # caches take roughly half of STREAM.
+            return self.stream_triad_bw if self.is_vector else 0.5 * self.stream_triad_bw
+        # dgemm/hpl/generic: cache-blocked, memory rarely binding.
+        return self.stream_triad_bw
+
+    def compute_time(self, flops: float, nbytes: float = 0.0,
+                     kernel: str = "generic") -> float:
+        """Roofline time for a work item on one CPU (seconds)."""
+        if kernel not in KERNELS:
+            raise ConfigError(f"unknown kernel class {kernel!r}")
+        if flops < 0 or nbytes < 0:
+            raise ConfigError("flops and nbytes must be non-negative")
+        t = 0.0
+        if flops:
+            t = flops / self.kernel_flops(kernel)
+        if nbytes:
+            tm = nbytes / self.kernel_mem_bw(kernel)
+            if tm > t:
+                t = tm
+        return t

@@ -1,0 +1,192 @@
+"""Whole-machine specification: node + processor + interconnect.
+
+A :class:`MachineSpec` is a frozen description of one of the paper's five
+platforms (plus variants).  It knows how to instantiate a live
+:class:`~repro.network.netmodel.Fabric` for a given CPU count, mapping MPI
+ranks onto SMP nodes block-wise (rank ``r`` lives on node ``r // cpus``),
+which is how the real systems were scheduled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigError
+from ..core.units import GB_S, US
+from ..network import (
+    CrossbarSwitch,
+    Fabric,
+    FabricParams,
+    FatTree,
+    Hypercube,
+    MultistageCrossbar,
+    Topology,
+    Torus3D,
+)
+from .node import NodeSpec
+from .processor import ProcessorSpec
+
+TOPOLOGY_KINDS = ("fattree", "hypercube", "crossbar", "multistage", "torus3d")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect description sufficient to build a fabric."""
+
+    name: str                    # e.g. "NUMALINK4", "IXS"
+    topology_kind: str           # one of TOPOLOGY_KINDS
+    link_gbs: float              # per-link per-direction bandwidth (GB/s)
+    nic_gbs: float               # per-node injection bandwidth (GB/s)
+    base_latency_us: float       # zero-byte latency excluding hops
+    per_hop_latency_us: float
+    send_overhead_us: float
+    recv_overhead_us: float
+    eager_threshold: int
+    bw_efficiency: float
+    duplex_factor: float = 2.0   # NIC send+recv capacity / one direction
+    # fat-tree structure (ignored by other kinds)
+    group_sizes: tuple[int, ...] = ()
+    level_blocking: tuple[float, ...] = ()
+    # multistage crossbar structure
+    ports: int = 128
+    stage_hops: int = 2
+
+    def __post_init__(self) -> None:
+        if self.topology_kind not in TOPOLOGY_KINDS:
+            raise ConfigError(f"unknown topology kind {self.topology_kind!r}")
+        if self.topology_kind == "fattree" and not self.group_sizes:
+            raise ConfigError("fat tree requires group_sizes")
+
+    def build_topology(self, n_nodes: int) -> Topology:
+        kind = self.topology_kind
+        if kind == "fattree":
+            blocking = self.level_blocking or None
+            return FatTree(n_nodes, self.group_sizes, blocking)
+        if kind == "hypercube":
+            return Hypercube(n_nodes)
+        if kind == "crossbar":
+            return CrossbarSwitch(n_nodes)
+        if kind == "torus3d":
+            return Torus3D(n_nodes)
+        return MultistageCrossbar(n_nodes, ports=self.ports,
+                                  stage_hops=self.stage_hops)
+
+    def max_nodes(self) -> int:
+        """Largest node count this network can attach (inf-ish for others)."""
+        if self.topology_kind == "fattree":
+            return math.prod(self.group_sizes)
+        if self.topology_kind == "multistage":
+            return self.ports
+        return 1 << 30
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One platform from the paper's Table 2 (or a variant)."""
+
+    name: str                    # short id, e.g. "sx8"
+    label: str                   # display name, e.g. "NEC SX-8"
+    system_type: str             # "Scalar" | "Vector"
+    processor: ProcessorSpec
+    node: NodeSpec
+    network: NetworkSpec
+    max_cpus: int                # largest configuration measured in the paper
+    topology_label: str = ""     # paper's topology name for Table 2
+    operating_system: str = ""
+    location: str = ""
+    processor_vendor: str = ""
+    system_vendor: str = ""
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_cpus < 1:
+            raise ConfigError("max_cpus must be >= 1")
+        cap = self.network.max_nodes() * self.node.cpus
+        if self.max_cpus > cap:
+            raise ConfigError(
+                f"{self.name}: max_cpus={self.max_cpus} exceeds network "
+                f"capacity {cap}"
+            )
+
+    # -- placement ---------------------------------------------------------------
+
+    def n_nodes(self, nprocs: int) -> int:
+        """Nodes needed for ``nprocs`` ranks (block placement, full packing)."""
+        if nprocs < 1:
+            raise ConfigError("need at least one process")
+        if nprocs > self.max_cpus:
+            raise ConfigError(
+                f"{self.label} has {self.max_cpus} CPUs, asked for {nprocs}"
+            )
+        return -(-nprocs // self.node.cpus)
+
+    def rank_to_node(self, rank: int) -> int:
+        return rank // self.node.cpus
+
+    def placement(self, nprocs: int, strategy: str = "block") -> list[int]:
+        """Node id of every rank.
+
+        * ``block`` (default, how the paper's systems were scheduled):
+          ranks fill node 0, then node 1, ...
+        * ``roundrobin``: rank ``r`` lands on node ``r % n_nodes`` —
+          scatters neighbours across nodes, which the placement ablation
+          bench shows is hostile to ring/neighbour patterns.
+        """
+        n = self.n_nodes(nprocs)
+        if strategy == "block":
+            return [self.rank_to_node(r) for r in range(nprocs)]
+        if strategy == "roundrobin":
+            return [r % n for r in range(nprocs)]
+        raise ConfigError(f"unknown placement strategy {strategy!r}")
+
+    # -- live model ----------------------------------------------------------------
+
+    def fabric_params(self) -> FabricParams:
+        net, node = self.network, self.node
+        return FabricParams(
+            link_bw=net.link_gbs * GB_S,
+            nic_bw=net.nic_gbs * GB_S,
+            base_latency=net.base_latency_us * US,
+            per_hop_latency=net.per_hop_latency_us * US,
+            send_overhead=net.send_overhead_us * US,
+            recv_overhead=net.recv_overhead_us * US,
+            eager_threshold=net.eager_threshold,
+            bw_efficiency=net.bw_efficiency,
+            duplex_factor=net.duplex_factor,
+            shm_bw=node.shm_node_bw,
+            shm_flow_bw=node.shm_flow_bw,
+            shm_latency=node.shm_latency,
+            memcpy_bw=node.memcpy_bw,
+        )
+
+    def build_fabric(self, nprocs: int) -> Fabric:
+        topo = self.network.build_topology(self.n_nodes(nprocs))
+        return Fabric(topo, self.fabric_params())
+
+    # -- paper-facing derived numbers --------------------------------------------
+
+    @property
+    def peak_node_gflops(self) -> float:
+        return self.processor.peak_gflops * self.node.cpus
+
+    def peak_gflops(self, nprocs: int) -> float:
+        return self.processor.peak_gflops * nprocs
+
+    def cpu_counts(self, start: int = 2, maximum: int | None = None) -> list[int]:
+        """Power-of-two sweep up to the machine's largest measured size.
+
+        Mirrors the paper's plots: powers of two, plus the machine's true
+        maximum when it is not itself a power of two (e.g. 576 on SX-8,
+        2024 on the four-box Altix).
+        """
+        cap = self.max_cpus if maximum is None else min(maximum, self.max_cpus)
+        counts = []
+        p = start
+        while p <= cap:
+            counts.append(p)
+            p *= 2
+        if counts and counts[-1] != cap:
+            counts.append(cap)
+        return counts

@@ -1,0 +1,41 @@
+"""Simulated MPI runtime: communicators, point-to-point, collectives."""
+
+from .cluster import Cluster, RunResult
+from .comm import Comm
+from .datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BAND,
+    BOR,
+    BXOR,
+    MAX,
+    MIN,
+    OPS,
+    PROD,
+    SUM,
+    Op,
+    RecvResult,
+)
+from .onesided import Window, win_create
+from .pt2pt import Transport
+
+__all__ = [
+    "Window",
+    "win_create",
+    "Cluster",
+    "RunResult",
+    "Comm",
+    "Transport",
+    "RecvResult",
+    "Op",
+    "OPS",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "BXOR",
+    "BAND",
+    "BOR",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

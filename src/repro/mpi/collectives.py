@@ -1,0 +1,1042 @@
+"""Collective algorithms over simulated point-to-point messaging.
+
+These are real algorithm implementations — binomial trees, recursive
+doubling/halving, Bruck, ring, pairwise exchange, Rabenseifner — whose
+cost *emerges* from the message-level fabric model.  This matters for the
+paper's IMB section: collective performance reflects "the algorithms used
+underneath" (§3.2.3), e.g. local reduction arithmetic is charged per merge
+step, which is what separates the vector machines from the scalar ones in
+the Reduce/Allreduce figures.
+
+Selection mirrors MPICH-style size/count tuning; every entry point takes
+an optional ``algorithm`` override so ablation benchmarks can pin one.
+
+All functions are generators; payloads (NumPy arrays) are optional and,
+when present, are actually split/merged/reduced so tests can validate
+results against serial references.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.errors import MPIError
+from .datatypes import Op, payload_nbytes, resolve_nbytes
+
+# Tag packing: one collective call owns tags [seq*_TAGSPAN, (seq+1)*_TAGSPAN).
+_TAGSPAN = 8192
+
+# Tuning thresholds (bytes), MPICH-flavoured.
+BCAST_SHORT = 12 * 1024
+REDUCE_SHORT = 32 * 1024
+ALLREDUCE_SHORT = 32 * 1024
+ALLGATHER_TOTAL_SHORT = 512 * 1024
+ALLTOALL_SHORT = 1024
+
+
+# ---------------------------------------------------------------------------
+# plumbing helpers
+# ---------------------------------------------------------------------------
+
+def _isend(comm, dest: int, nbytes: int, tag: int, data: Any = None):
+    return comm.cluster.transport.isend(
+        comm.world_rank, comm._global(dest), int(nbytes), tag, data,
+        comm._channel("coll"),
+    )
+
+
+def _irecv(comm, source: int, tag: int):
+    return comm.cluster.transport.irecv(
+        comm.world_rank, comm._global(source), tag, comm._channel("coll")
+    )
+
+
+def _sendrecv(comm, dest: int, source: int, nbytes: int, tag: int,
+              data: Any = None):
+    """Concurrent exchange; returns the received :class:`RecvResult`."""
+    rreq = _irecv(comm, source, tag)
+    sreq = _isend(comm, dest, nbytes, tag, data)
+    res = yield rreq
+    yield sreq
+    return res
+
+
+def _reduce_compute(comm, nbytes: float):
+    """Charge the local arithmetic of combining two nbytes-long buffers."""
+    if nbytes > 0:
+        yield from comm.compute(
+            flops=nbytes / 8.0, nbytes=3.0 * nbytes, kernel="reduction"
+        )
+
+
+def _combine(op: Op, acc: Any, incoming: Any) -> Any:
+    if acc is None or incoming is None:
+        return acc if incoming is None else incoming
+    return op(acc, incoming)
+
+
+def balanced_split(nbytes: int, parts: int) -> list[int]:
+    """Byte counts of ``parts`` balanced blocks (first blocks larger)."""
+    q, r = divmod(int(nbytes), parts)
+    return [q + 1] * r + [q] * (parts - r)
+
+
+def split_payload(data: Any, parts: int) -> list[Any]:
+    """Element-wise split of an optional array payload into blocks."""
+    if isinstance(data, np.ndarray):
+        return list(np.array_split(data, parts))
+    return [None] * parts
+
+
+class _Blocks:
+    """Per-rank blocks of one buffer: real slices and/or byte sizes."""
+
+    def __init__(self, data: Any, nbytes: int, parts: int) -> None:
+        self.arrs = split_payload(data, parts)
+        if isinstance(data, np.ndarray):
+            self.sizes = [a.nbytes for a in self.arrs]
+        else:
+            self.sizes = balanced_split(nbytes, parts)
+
+
+def _pow2_below(n: int) -> int:
+    return 1 << (n.bit_length() - 1)
+
+
+def _is_pow2(n: int) -> bool:
+    return n & (n - 1) == 0
+
+
+def _pick(algorithm: str | None, table: dict[str, Any], default: str):
+    name = algorithm or default
+    try:
+        return table[name]
+    except KeyError:
+        known = ", ".join(sorted(table))
+        raise MPIError(f"unknown algorithm {name!r}; known: {known}") from None
+
+
+class _SubGroup:
+    """A comm view over a subset of ranks, renumbered 0..len-1.
+
+    Quacks like a Comm for the algorithm helpers: ``rank``/``size`` in the
+    subgroup numbering, messaging forwarded to the parent transport.
+    """
+
+    def __init__(self, comm, member_local_ranks: Sequence[int]) -> None:
+        self._comm = comm
+        self._members = list(member_local_ranks)
+        self.rank = self._members.index(comm.rank)
+        self.size = len(self._members)
+        self.cluster = comm.cluster
+        self.world_rank = comm.world_rank
+
+    def _global(self, sub_rank: int) -> int:
+        return self._comm._global(self._members[sub_rank])
+
+    def _channel(self, kind: str):
+        return self._comm._channel(kind)
+
+    def compute(self, **kw):
+        return self._comm.compute(**kw)
+
+
+# ---------------------------------------------------------------------------
+# barrier
+# ---------------------------------------------------------------------------
+
+def _barrier_dissemination(comm, base_tag: int):
+    rank, size = comm.rank, comm.size
+    step, rnd = 1, 0
+    while step < size:
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        rreq = _irecv(comm, src, base_tag + rnd)
+        sreq = _isend(comm, dst, 0, base_tag + rnd)
+        yield rreq
+        yield sreq
+        step <<= 1
+        rnd += 1
+
+
+def _barrier_tree(comm, base_tag: int):
+    """Binomial gather to 0 then binomial release (two-phase tree)."""
+    yield from _reduce_binomial(comm, base_tag, None, 0, None, 0)
+    yield from _bcast_binomial(comm, base_tag + 4096, None, 0, 0)
+
+
+BARRIER_ALGORITHMS = {
+    "dissemination": _barrier_dissemination,
+    "tree": _barrier_tree,
+}
+
+
+def barrier(comm, seq: int, algorithm: str | None = None):
+    if comm.size == 1:
+        return None
+        yield  # pragma: no cover - generator marker
+    fn = _pick(algorithm, BARRIER_ALGORITHMS, "dissemination")
+    yield from fn(comm, seq * _TAGSPAN)
+
+
+# ---------------------------------------------------------------------------
+# bcast
+# ---------------------------------------------------------------------------
+
+def _bcast_binomial(comm, base_tag: int, data: Any, nbytes: int, root: int):
+    rank, size = comm.rank, comm.size
+    vr = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            src_v = vr - mask
+            res = yield _irecv(comm, (src_v + root) % size, base_tag)
+            data = res.data
+            break
+        mask <<= 1
+    mask >>= 1
+    reqs = []
+    while mask > 0:
+        if vr + mask < size:
+            dst_v = vr + mask
+            reqs.append(_isend(comm, (dst_v + root) % size, nbytes, base_tag, data))
+        mask >>= 1
+    for r in reqs:
+        yield r
+    return data
+
+
+def _bcast_scatter_ring(comm, base_tag: int, data: Any, nbytes: int, root: int):
+    """van de Geijn large-message bcast: binomial scatter + ring allgatherv.
+
+    Works for any communicator size.  When a real payload is present the
+    whole object travels along the scatter edges (receivers cannot
+    reconstruct typed chunks); byte counts — and therefore timing — follow
+    the true chunked algorithm either way.
+    """
+    rank, size = comm.rank, comm.size
+    vr = (rank - root) % size
+    sizes = balanced_split(nbytes, size)
+    offsets = [0]
+    for s in sizes:
+        offsets.append(offsets[-1] + s)
+
+    # --- binomial scatter: vrank v ends up owning block v ------------------
+    have_lo, have_hi = (0, size) if vr == 0 else (0, 0)
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            src_v = vr - mask
+            res = yield _irecv(comm, (src_v + root) % size, base_tag + mask)
+            data = res.data if data is None else data
+            have_lo, have_hi = vr, min(vr + mask, size)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < size and have_hi > vr + mask:
+            lo, hi = vr + mask, have_hi
+            nb = offsets[hi] - offsets[lo]
+            if nb > 0:
+                yield _isend(comm, (lo + root) % size, nb, base_tag + mask, data)
+            have_hi = lo
+        mask >>= 1
+
+    # --- ring allgatherv of the blocks (indexed by vrank) ------------------
+    right = (vr + 1) % size
+    left = (vr - 1) % size
+    for i in range(size - 1):
+        send_block = (vr - i) % size
+        yield from _sendrecv(
+            comm,
+            (right + root) % size,
+            (left + root) % size,
+            sizes[send_block],
+            base_tag + 2048 + i,
+            data,
+        )
+    return data
+
+
+BCAST_ALGORITHMS = {
+    "binomial": _bcast_binomial,
+    "scatter_ring": _bcast_scatter_ring,
+}
+
+
+def bcast(comm, seq: int, data: Any, nbytes: int | None, root: int,
+          algorithm: str | None = None):
+    n = resolve_nbytes(data, nbytes)
+    if comm.size == 1:
+        return data
+        yield  # pragma: no cover
+    if algorithm is None:
+        algorithm = (
+            "binomial" if (n < BCAST_SHORT or comm.size < 8) else "scatter_ring"
+        )
+    fn = _pick(algorithm, BCAST_ALGORITHMS, "binomial")
+    out = yield from fn(comm, seq * _TAGSPAN, data, n, root)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reduce
+# ---------------------------------------------------------------------------
+
+def _reduce_binomial(comm, base_tag: int, data: Any, nbytes: int,
+                     op: Op | None, root: int):
+    rank, size = comm.rank, comm.size
+    vr = (rank - root) % size
+    acc = data
+    mask = 1
+    while mask < size:
+        if vr & mask == 0:
+            src_v = vr | mask
+            if src_v < size:
+                res = yield _irecv(comm, (src_v + root) % size, base_tag + mask)
+                if op is not None:
+                    yield from _reduce_compute(comm, nbytes)
+                    acc = _combine(op, acc, res.data)
+        else:
+            dst_v = vr & ~mask
+            yield _isend(comm, (dst_v + root) % size, nbytes, base_tag + mask, acc)
+            return None
+        mask <<= 1
+    return acc
+
+
+def _fold_down(comm, base_tag: int, data: Any, nbytes: int, op: Op):
+    """Non-power-of-two preamble.
+
+    The first ``2*rem`` ranks pair up; odd ranks ship their contribution
+    to the even partner and drop out.  Returns
+    ``(active, survivors, folded_data)`` where ``survivors`` is the
+    deterministic list of surviving local ranks (length a power of two).
+    """
+    size = comm.size
+    p2 = _pow2_below(size)
+    rem = size - p2
+    rank = comm.rank
+    acc = data
+    if rem and rank < 2 * rem:
+        if rank % 2 == 1:
+            yield _isend(comm, rank - 1, nbytes, base_tag, acc)
+            return False, None, None
+        res = yield _irecv(comm, rank + 1, base_tag)
+        yield from _reduce_compute(comm, nbytes)
+        acc = _combine(op, acc, res.data)
+    survivors = [r for r in range(size) if r >= 2 * rem or r % 2 == 0]
+    return True, survivors, acc
+
+
+def _unfold_up(comm, base_tag: int, result: Any, nbytes: int):
+    """Send the final result back to the folded-out odd ranks."""
+    size = comm.size
+    rem = size - _pow2_below(size)
+    rank = comm.rank
+    if not rem or rank >= 2 * rem:
+        return result
+    if rank % 2 == 1:
+        res = yield _irecv(comm, rank - 1, base_tag)
+        return res.data
+    yield _isend(comm, rank + 1, nbytes, base_tag, result)
+    return result
+
+
+def _reduce_scatter_halving(sub, base_tag: int, blocks: _Blocks, op: Op):
+    """Recursive-halving reduce-scatter over a power-of-two (sub)comm.
+
+    On return, subgroup rank ``g`` holds the fully reduced block ``g``:
+    returns ``(g, acc_blocks)`` where ``acc_blocks[g]`` is the value.
+    """
+    vr, p2 = sub.rank, sub.size
+    lo, hi = 0, p2
+    acc = list(blocks.arrs)
+    sizes = blocks.sizes
+    step = 0
+    while hi - lo > 1:
+        half = (hi - lo) // 2
+        mid = lo + half
+        if vr < mid:
+            partner = vr + half
+            keep_lo, keep_hi = lo, mid
+            give_lo, give_hi = mid, hi
+        else:
+            partner = vr - half
+            keep_lo, keep_hi = mid, hi
+            give_lo, give_hi = lo, mid
+        send_nb = sum(sizes[give_lo:give_hi])
+        recv_nb = sum(sizes[keep_lo:keep_hi])
+        payload = None
+        if any(a is not None for a in acc[give_lo:give_hi]):
+            payload = acc[give_lo:give_hi]
+        res = yield from _sendrecv(sub, partner, partner, send_nb,
+                                   base_tag + step, payload)
+        yield from _reduce_compute(sub, recv_nb)
+        if res.data is not None:
+            for j, i in enumerate(range(keep_lo, keep_hi)):
+                acc[i] = _combine(op, acc[i], res.data[j])
+        lo, hi = keep_lo, keep_hi
+        step += 1
+    return lo, acc
+
+
+def _gather_segments_binomial(sub, base_tag: int, acc: list,
+                              sizes: list[int]):
+    """Reverse-halving gather of per-rank segments to subgroup rank 0.
+
+    Returns the full block list at rank 0, ``None`` elsewhere.
+    """
+    vr, p2 = sub.rank, sub.size
+    seg_lo, seg_hi = vr, vr + 1
+    mask = 1
+    while mask < p2:
+        if vr & mask:
+            dst = vr - mask
+            nb = sum(sizes[seg_lo:seg_hi])
+            payload = None
+            if any(a is not None for a in acc[seg_lo:seg_hi]):
+                payload = (seg_lo, acc[seg_lo:seg_hi])
+            yield _isend(sub, dst, nb, base_tag + mask, payload)
+            return None
+        src = vr + mask
+        if src < p2:
+            res = yield _irecv(sub, src, base_tag + mask)
+            if res.data is not None:
+                in_lo, in_blocks = res.data
+                for j, i in enumerate(range(in_lo, in_lo + len(in_blocks))):
+                    acc[i] = in_blocks[j]
+            seg_hi = min(seg_hi + mask, p2)
+        mask <<= 1
+    return acc
+
+
+def _reduce_rabenseifner(comm, base_tag: int, data: Any, nbytes: int, op: Op,
+                         root: int):
+    """Large-message reduce: fold to 2^m, halving reduce-scatter, binomial
+    gather to survivor 0, then forward to ``root`` if it differs."""
+    active, survivors, acc = yield from _fold_down(comm, base_tag, data,
+                                                   nbytes, op)
+    result = None
+    if active:
+        sub = _SubGroup(comm, survivors)
+        blocks = _Blocks(acc, nbytes, sub.size)
+        seg_lo, accb = yield from _reduce_scatter_halving(
+            sub, base_tag + 16, blocks, op
+        )
+        full = yield from _gather_segments_binomial(
+            sub, base_tag + 2048, accb, blocks.sizes
+        )
+        if sub.rank == 0 and full is not None:
+            arrs = [a for a in full if a is not None]
+            result = np.concatenate(arrs) if arrs else None
+    # survivors is None on folded-out ranks; survivor 0 is always local
+    # rank 0 by construction (rank 0 is even), so the gathered result
+    # lands at rank 0 and is forwarded when the root differs.
+    if root != 0:
+        if comm.rank == 0:
+            yield _isend(comm, root, nbytes, base_tag + 4096, result)
+            return None
+        if comm.rank == root:
+            res = yield _irecv(comm, 0, base_tag + 4096)
+            return res.data
+        return None
+    return result if comm.rank == 0 else None
+
+
+REDUCE_ALGORITHMS = {
+    "binomial": _reduce_binomial,
+    "rabenseifner": _reduce_rabenseifner,
+}
+
+
+def reduce(comm, seq: int, data: Any, nbytes: int | None, op: Op, root: int,
+           algorithm: str | None = None):
+    n = resolve_nbytes(data, nbytes)
+    if comm.size == 1:
+        return data
+        yield  # pragma: no cover
+    if algorithm is None:
+        algorithm = "binomial" if n < REDUCE_SHORT else "rabenseifner"
+    fn = _pick(algorithm, REDUCE_ALGORITHMS, "binomial")
+    out = yield from fn(comm, seq * _TAGSPAN, data, n, op, root)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# allreduce
+# ---------------------------------------------------------------------------
+
+def _allreduce_recursive_doubling(comm, base_tag: int, data: Any, nbytes: int,
+                                  op: Op):
+    active, survivors, acc = yield from _fold_down(comm, base_tag, data,
+                                                   nbytes, op)
+    if active:
+        sub = _SubGroup(comm, survivors)
+        gidx, p2 = sub.rank, sub.size
+        mask, step = 1, 0
+        while mask < p2:
+            partner = gidx ^ mask
+            res = yield from _sendrecv(sub, partner, partner, nbytes,
+                                       base_tag + 16 + step, acc)
+            yield from _reduce_compute(comm, nbytes)
+            acc = _combine(op, acc, res.data)
+            mask <<= 1
+            step += 1
+    else:
+        acc = None
+    out = yield from _unfold_up(comm, base_tag + 1, acc, nbytes)
+    return out
+
+
+def _allreduce_rabenseifner(comm, base_tag: int, data: Any, nbytes: int,
+                            op: Op):
+    """Reduce-scatter (recursive halving) + allgather (recursive doubling)."""
+    active, survivors, acc = yield from _fold_down(comm, base_tag, data,
+                                                   nbytes, op)
+    if active:
+        sub = _SubGroup(comm, survivors)
+        gidx, p2 = sub.rank, sub.size
+        blocks = _Blocks(acc, nbytes, p2)
+        seg_lo, accb = yield from _reduce_scatter_halving(
+            sub, base_tag + 16, blocks, op
+        )
+        # Recursive-doubling allgather of the reduced blocks: at each step
+        # ranks hold an aligned range of width ``mask`` and exchange it
+        # with the partner's adjacent aligned range.
+        mask, step = 1, 0
+        while mask < p2:
+            partner = gidx ^ mask
+            lo = (gidx // mask) * mask
+            other_lo = (partner // mask) * mask
+            send_nb = sum(blocks.sizes[lo:lo + mask])
+            payload = None
+            if any(a is not None for a in accb[lo:lo + mask]):
+                payload = accb[lo:lo + mask]
+            res = yield from _sendrecv(sub, partner, partner, send_nb,
+                                       base_tag + 1024 + step, payload)
+            if res.data is not None:
+                for j, i in enumerate(range(other_lo, other_lo + mask)):
+                    accb[i] = res.data[j]
+            mask <<= 1
+            step += 1
+        arrs = [a for a in accb if a is not None]
+        acc = np.concatenate(arrs) if arrs else None
+    else:
+        acc = None
+    out = yield from _unfold_up(comm, base_tag + 1, acc, nbytes)
+    return out
+
+
+ALLREDUCE_ALGORITHMS = {
+    "recursive_doubling": _allreduce_recursive_doubling,
+    "rabenseifner": _allreduce_rabenseifner,
+}
+
+
+def allreduce(comm, seq: int, data: Any, nbytes: int | None, op: Op,
+              algorithm: str | None = None):
+    n = resolve_nbytes(data, nbytes)
+    if comm.size == 1:
+        return data
+        yield  # pragma: no cover
+    if algorithm is None:
+        algorithm = "recursive_doubling" if n < ALLREDUCE_SHORT else "rabenseifner"
+    fn = _pick(algorithm, ALLREDUCE_ALGORITHMS, "recursive_doubling")
+    out = yield from fn(comm, seq * _TAGSPAN, data, n, op)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# gather / scatter
+# ---------------------------------------------------------------------------
+
+def gather(comm, seq: int, data: Any, nbytes: int | None, root: int):
+    """Binomial gather; root returns the list of contributions by rank."""
+    n = resolve_nbytes(data, nbytes)
+    rank, size = comm.rank, comm.size
+    base_tag = seq * _TAGSPAN
+    if size == 1:
+        return [data]
+        yield  # pragma: no cover
+    vr = (rank - root) % size
+    bag = {vr: data}
+    mask = 1
+    while mask < size:
+        if vr & mask == 0:
+            src_v = vr | mask
+            if src_v < size:
+                res = yield _irecv(comm, (src_v + root) % size, base_tag + mask)
+                if res.data is not None:
+                    bag.update(res.data)
+        else:
+            dst_v = vr & ~mask
+            count = min(mask, size - vr)
+            yield _isend(comm, (dst_v + root) % size, n * count,
+                         base_tag + mask, bag)
+            return None
+        mask <<= 1
+    return [bag.get((r - root) % size) for r in range(size)]
+
+
+def scatter(comm, seq: int, datas: Sequence[Any] | None, nbytes: int | None,
+            root: int):
+    """Binomial scatter; returns this rank's piece."""
+    rank, size = comm.rank, comm.size
+    base_tag = seq * _TAGSPAN
+    if nbytes is None:
+        if datas is None:
+            raise MPIError("scatter needs datas or nbytes")
+        nbytes = max((payload_nbytes(d) for d in datas), default=0)
+    if size == 1:
+        return datas[0] if datas else None
+        yield  # pragma: no cover
+    vr = (rank - root) % size
+    if vr == 0:
+        bag = {v: (datas[(v + root) % size] if datas is not None else None)
+               for v in range(size)}
+        have_hi = size
+    else:
+        bag = {}
+        have_hi = 0
+        mask = 1
+        while mask < size:
+            if vr & mask:
+                src_v = vr - mask
+                res = yield _irecv(comm, (src_v + root) % size, base_tag + mask)
+                if res.data is not None:
+                    bag = res.data
+                have_hi = min(vr + mask, size)
+                break
+            mask <<= 1
+    # forwarding phase (root enters with the full bag)
+    mask = 1
+    while mask < size and not (vr & mask):
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < size and have_hi > vr + mask:
+            lo, hi = vr + mask, have_hi
+            sub = {v: bag.get(v) for v in range(lo, hi)}
+            yield _isend(comm, (lo + root) % size, nbytes * (hi - lo),
+                         base_tag + mask, sub)
+            have_hi = lo
+        mask >>= 1
+    return bag.get(vr)
+
+
+# ---------------------------------------------------------------------------
+# allgather / allgatherv
+# ---------------------------------------------------------------------------
+
+def _allgather_ring(comm, base_tag: int, items: list, sizes: list[int]):
+    rank, size = comm.rank, comm.size
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for i in range(size - 1):
+        send_block = (rank - i) % size
+        recv_block = (rank - i - 1) % size
+        res = yield from _sendrecv(comm, right, left, sizes[send_block],
+                                   base_tag + i, items[send_block])
+        items[recv_block] = res.data
+    return items
+
+
+def _allgather_recursive_doubling(comm, base_tag: int, items: list,
+                                  sizes: list[int]):
+    rank, size = comm.rank, comm.size
+    if not _is_pow2(size):
+        return (yield from _allgather_bruck(comm, base_tag, items, sizes))
+    mask, step = 1, 0
+    while mask < size:
+        partner = rank ^ mask
+        lo = (rank // mask) * mask
+        other_lo = (partner // mask) * mask
+        send_nb = sum(sizes[lo:lo + mask])
+        payload = {i: items[i] for i in range(lo, lo + mask)
+                   if items[i] is not None} or None
+        res = yield from _sendrecv(comm, partner, partner, send_nb,
+                                   base_tag + step, payload)
+        if res.data is not None:
+            for i, v in res.data.items():
+                items[i] = v
+        mask <<= 1
+        step += 1
+    return items
+
+
+def _allgather_bruck(comm, base_tag: int, items: list, sizes: list[int]):
+    """Bruck allgather: any size, ceil(log2 P) steps, doubling blocks."""
+    rank, size = comm.rank, comm.size
+    held = [(rank, items[rank])]
+    pof2, step = 1, 0
+    while pof2 < size:
+        send_to = (rank - pof2) % size
+        recv_from = (rank + pof2) % size
+        count = min(pof2, size - pof2)
+        chunk = held[:count]
+        send_nb = sum(sizes[b] for (b, _v) in chunk)
+        res = yield from _sendrecv(comm, send_to, recv_from, send_nb,
+                                   base_tag + step, chunk)
+        held.extend(res.data or [])
+        pof2 <<= 1
+        step += 1
+    for b, v in held[:size]:
+        items[b] = v
+    return items
+
+
+ALLGATHER_ALGORITHMS = {
+    "ring": _allgather_ring,
+    "recursive_doubling": _allgather_recursive_doubling,
+    "bruck": _allgather_bruck,
+}
+
+
+def allgather(comm, seq: int, data: Any, nbytes: int | None,
+              algorithm: str | None = None):
+    n = resolve_nbytes(data, nbytes)
+    size = comm.size
+    if size == 1:
+        return [data]
+        yield  # pragma: no cover
+    if algorithm is None:
+        if n * size <= ALLGATHER_TOTAL_SHORT:
+            algorithm = "recursive_doubling" if _is_pow2(size) else "bruck"
+        else:
+            algorithm = "ring"
+    items: list[Any] = [None] * size
+    items[comm.rank] = data
+    sizes = [n] * size
+    fn = _pick(algorithm, ALLGATHER_ALGORITHMS, "ring")
+    out = yield from fn(comm, seq * _TAGSPAN, items, sizes)
+    return out
+
+
+def allgatherv(comm, seq: int, data: Any, counts: Sequence[int] | None,
+               algorithm: str | None = None):
+    size = comm.size
+    if counts is None:
+        raise MPIError("allgatherv requires per-rank counts")
+    if len(counts) != size:
+        raise MPIError(f"counts has {len(counts)} entries for size {size}")
+    if size == 1:
+        return [data]
+        yield  # pragma: no cover
+    items: list[Any] = [None] * size
+    items[comm.rank] = data
+    sizes = [int(c) for c in counts]
+    if algorithm is None:
+        # Same tuning rule as allgather, on the true total volume.
+        if sum(sizes) <= ALLGATHER_TOTAL_SHORT:
+            algorithm = "recursive_doubling" if _is_pow2(size) else "bruck"
+        else:
+            algorithm = "ring"
+    fn = _pick(algorithm, ALLGATHER_ALGORITHMS, "ring")
+    out = yield from fn(comm, seq * _TAGSPAN, items, sizes)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# alltoall / alltoallv
+# ---------------------------------------------------------------------------
+
+def _alltoall_pairwise(comm, base_tag: int, out_items: list, out_sizes: list):
+    rank, size = comm.rank, comm.size
+    in_items = [None] * size
+    in_items[rank] = out_items[rank]
+    for i in range(1, size):
+        dst = (rank + i) % size
+        src = (rank - i) % size
+        res = yield from _sendrecv(comm, dst, src, out_sizes[dst],
+                                   base_tag + i, out_items[dst])
+        in_items[src] = res.data
+    return in_items
+
+
+def _alltoall_bruck(comm, base_tag: int, out_items: list, out_sizes: list):
+    """Bruck alltoall: log steps of aggregated forwarding.
+
+    Items travel as ``(dest, origin, payload)`` triples; carrying the
+    origin replaces the index bookkeeping of the buffer-based original
+    and has no timing effect.
+    """
+    rank, size = comm.rank, comm.size
+    result = [None] * size
+    result[rank] = out_items[rank]
+    held = [(d, rank, out_items[d]) for d in range(size) if d != rank]
+    pof2, step = 1, 0
+    while pof2 < size:
+        send_to = (rank + pof2) % size
+        recv_from = (rank - pof2) % size
+        moving = [t for t in held if ((t[0] - rank) % size) & pof2]
+        held = [t for t in held if not ((t[0] - rank) % size) & pof2]
+        send_nb = sum(out_sizes[t[0]] for t in moving)
+        res = yield from _sendrecv(comm, send_to, recv_from, send_nb,
+                                   base_tag + step, moving)
+        for d, origin, v in res.data or []:
+            if d == rank:
+                result[origin] = v
+            else:
+                held.append((d, origin, v))
+        pof2 <<= 1
+        step += 1
+    return result
+
+
+ALLTOALL_ALGORITHMS = {
+    "pairwise": _alltoall_pairwise,
+    "bruck": _alltoall_bruck,
+}
+
+
+def alltoall(comm, seq: int, datas: Sequence[Any] | None, nbytes: int | None,
+             algorithm: str | None = None):
+    size = comm.size
+    if datas is not None and len(datas) != size:
+        raise MPIError(f"alltoall needs {size} send items, got {len(datas)}")
+    if nbytes is None:
+        if datas is None:
+            raise MPIError("alltoall needs datas or nbytes")
+        nbytes = max((payload_nbytes(d) for d in datas), default=0)
+    if size == 1:
+        return [datas[0] if datas else None]
+        yield  # pragma: no cover
+    out_items = list(datas) if datas is not None else [None] * size
+    out_sizes = [int(nbytes)] * size
+    if algorithm is None:
+        algorithm = "bruck" if nbytes <= ALLTOALL_SHORT else "pairwise"
+    fn = _pick(algorithm, ALLTOALL_ALGORITHMS, "pairwise")
+    out = yield from fn(comm, seq * _TAGSPAN, out_items, out_sizes)
+    return out
+
+
+def alltoallv(comm, seq: int, datas: Sequence[Any] | None,
+              counts: Sequence[int] | None, algorithm: str | None = None):
+    size = comm.size
+    if counts is None:
+        if datas is None:
+            raise MPIError("alltoallv needs datas or counts")
+        counts = [payload_nbytes(d) for d in datas]
+    if len(counts) != size:
+        raise MPIError(f"counts has {len(counts)} entries for size {size}")
+    if size == 1:
+        return [datas[0] if datas else None]
+        yield  # pragma: no cover
+    out_items = list(datas) if datas is not None else [None] * size
+    out_sizes = [int(c) for c in counts]
+    out = yield from _alltoall_pairwise(comm, seq * _TAGSPAN, out_items,
+                                        out_sizes)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reduce_scatter
+# ---------------------------------------------------------------------------
+
+def _reduce_scatter_rechalving(comm, base_tag: int, data: Any, nbytes: int,
+                               op: Op):
+    if not _is_pow2(comm.size):
+        raise MPIError("recursive_halving reduce_scatter needs 2^k ranks")
+    sub = _SubGroup(comm, list(range(comm.size)))
+    blocks = _Blocks(data, nbytes, comm.size)
+    seg_lo, acc = yield from _reduce_scatter_halving(sub, base_tag, blocks, op)
+    return acc[seg_lo]
+
+
+def _reduce_scatter_via_reduce(comm, base_tag: int, data: Any, nbytes: int,
+                               op: Op):
+    """Rabenseifner reduce to 0 + binomial scatterv (any size)."""
+    size = comm.size
+    sizes = balanced_split(nbytes, size)
+    total = yield from _reduce_rabenseifner(comm, base_tag, data, nbytes, op, 0)
+    pieces = split_payload(total, size) if comm.rank == 0 else None
+    my = yield from scatter(comm, (base_tag // _TAGSPAN) * 2 + 1, pieces,
+                            max(sizes), 0)
+    return my
+
+
+def _reduce_scatter_pairwise(comm, base_tag: int, data: Any, nbytes: int,
+                             op: Op):
+    """P-1 steps; each step exchanges one block and folds it in."""
+    rank, size = comm.rank, comm.size
+    blocks = _Blocks(data, nbytes, size)
+    acc = blocks.arrs[rank]
+    for i in range(1, size):
+        dst = (rank + i) % size
+        src = (rank - i) % size
+        res = yield from _sendrecv(comm, dst, src, blocks.sizes[dst],
+                                   base_tag + i, blocks.arrs[dst])
+        yield from _reduce_compute(comm, blocks.sizes[rank])
+        acc = _combine(op, acc, res.data)
+    return acc
+
+
+REDUCE_SCATTER_ALGORITHMS = {
+    "recursive_halving": _reduce_scatter_rechalving,
+    "reduce_scatterv": _reduce_scatter_via_reduce,
+    "pairwise": _reduce_scatter_pairwise,
+}
+
+
+def reduce_scatter(comm, seq: int, data: Any, nbytes: int | None, op: Op,
+                   algorithm: str | None = None):
+    n = resolve_nbytes(data, nbytes)
+    size = comm.size
+    if size == 1:
+        return data
+        yield  # pragma: no cover
+    if algorithm is None:
+        algorithm = "recursive_halving" if _is_pow2(size) else "reduce_scatterv"
+    fn = _pick(algorithm, REDUCE_SCATTER_ALGORITHMS, "recursive_halving")
+    out = yield from fn(comm, seq * _TAGSPAN, data, n, op)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# scan / exscan
+# ---------------------------------------------------------------------------
+
+def _scan_recursive_doubling(comm, base_tag: int, data: Any, nbytes: int,
+                             op: Op, inclusive: bool):
+    """Prefix reduction by recursive doubling (any communicator size).
+
+    Rank r ends with op over ranks [0, r] (inclusive) or [0, r)
+    (exclusive; rank 0 gets ``None``).
+    """
+    rank, size = comm.rank, comm.size
+    acc = data            # running op over a contiguous rank range
+    prefix = data if inclusive else None  # op over ranks [0, r] or [0, r)
+    if not inclusive:
+        prefix = None
+    mask, step = 1, 0
+    while mask < size:
+        partner = rank ^ mask
+        if partner < size:
+            res = yield from _sendrecv(comm, partner, partner, nbytes,
+                                       base_tag + step, acc)
+            yield from _reduce_compute(comm, nbytes)
+            incoming = res.data
+            if partner < rank:
+                # partner's range lies entirely below mine
+                if inclusive:
+                    prefix = _combine(op, incoming, prefix)
+                else:
+                    prefix = incoming if prefix is None else _combine(
+                        op, incoming, prefix)
+            acc = _combine(op, acc, incoming)
+        mask <<= 1
+        step += 1
+    return prefix
+
+
+SCAN_ALGORITHMS = {"recursive_doubling": _scan_recursive_doubling}
+
+
+def scan(comm, seq: int, data: Any, nbytes: int | None, op: Op,
+         algorithm: str | None = None):
+    n = resolve_nbytes(data, nbytes)
+    if comm.size == 1:
+        return data
+        yield  # pragma: no cover
+    fn = _pick(algorithm, SCAN_ALGORITHMS, "recursive_doubling")
+    out = yield from fn(comm, seq * _TAGSPAN, data, n, op, True)
+    return out
+
+
+def exscan(comm, seq: int, data: Any, nbytes: int | None, op: Op,
+           algorithm: str | None = None):
+    n = resolve_nbytes(data, nbytes)
+    if comm.size == 1:
+        return None
+        yield  # pragma: no cover
+    fn = _pick(algorithm, SCAN_ALGORITHMS, "recursive_doubling")
+    out = yield from fn(comm, seq * _TAGSPAN, data, n, op, False)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# gatherv / scatterv
+# ---------------------------------------------------------------------------
+
+def gatherv(comm, seq: int, data: Any, counts: Sequence[int] | None,
+            root: int):
+    """Variable-count gather (binomial tree carrying per-rank sizes)."""
+    rank, size = comm.rank, comm.size
+    if counts is None:
+        raise MPIError("gatherv requires per-rank counts")
+    if len(counts) != size:
+        raise MPIError(f"counts has {len(counts)} entries for size {size}")
+    base_tag = seq * _TAGSPAN
+    if size == 1:
+        return [data]
+        yield  # pragma: no cover
+    vr = (rank - root) % size
+    bag = {vr: data}
+    vsize = lambda v: int(counts[(v + root) % size])  # noqa: E731
+    mask = 1
+    while mask < size:
+        if vr & mask == 0:
+            src_v = vr | mask
+            if src_v < size:
+                res = yield _irecv(comm, (src_v + root) % size,
+                                   base_tag + mask)
+                if res.data is not None:
+                    bag.update(res.data)
+        else:
+            dst_v = vr & ~mask
+            nb = sum(vsize(v) for v in range(vr, min(vr + mask, size)))
+            yield _isend(comm, (dst_v + root) % size, nb, base_tag + mask,
+                         bag)
+            return None
+        mask <<= 1
+    return [bag.get((r - root) % size) for r in range(size)]
+
+
+def scatterv(comm, seq: int, datas: Sequence[Any] | None,
+             counts: Sequence[int] | None, root: int):
+    """Variable-count scatter (binomial tree carrying per-rank sizes)."""
+    rank, size = comm.rank, comm.size
+    if counts is None:
+        raise MPIError("scatterv requires per-rank counts")
+    if len(counts) != size:
+        raise MPIError(f"counts has {len(counts)} entries for size {size}")
+    base_tag = seq * _TAGSPAN
+    if size == 1:
+        return datas[0] if datas else None
+        yield  # pragma: no cover
+    vr = (rank - root) % size
+    vsize = lambda v: int(counts[(v + root) % size])  # noqa: E731
+    if vr == 0:
+        bag = {v: (datas[(v + root) % size] if datas is not None else None)
+               for v in range(size)}
+        have_hi = size
+    else:
+        bag = {}
+        have_hi = 0
+        mask = 1
+        while mask < size:
+            if vr & mask:
+                src_v = vr - mask
+                res = yield _irecv(comm, (src_v + root) % size,
+                                   base_tag + mask)
+                if res.data is not None:
+                    bag = res.data
+                have_hi = min(vr + mask, size)
+                break
+            mask <<= 1
+    mask = 1
+    while mask < size and not (vr & mask):
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < size and have_hi > vr + mask:
+            lo, hi = vr + mask, have_hi
+            sub = {v: bag.get(v) for v in range(lo, hi)}
+            nb = sum(vsize(v) for v in range(lo, hi))
+            yield _isend(comm, (lo + root) % size, nb, base_tag + mask, sub)
+            have_hi = lo
+        mask >>= 1
+    return bag.get(vr)

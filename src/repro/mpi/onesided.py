@@ -1,0 +1,158 @@
+"""One-sided communication (MPI-2 RMA): Put/Get with fence synchronisation.
+
+The paper's future-work list includes "one-sided (GET/PUT) MPI
+communication functions"; InfiniBand's RDMA support (§2.4) is the
+hardware substrate.  This module implements the core of that model:
+
+* :func:`win_create` — collective window creation over a communicator,
+  optionally exposing a NumPy array;
+* :meth:`Window.put` / :meth:`Window.get` — non-blocking RMA that moves
+  real data without involving the target's CPU (no ``recv_overhead``);
+* :meth:`Window.fence` — collective synchronisation: completes all locally
+  issued and all incoming operations, then barriers.
+
+Timing: a put is one fabric transfer; a get is a control-latency request
+followed by the data transfer back.  Neither charges target CPU time —
+that is precisely the RDMA advantage the paper attributes to IB.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.engine import Event
+from ..core.errors import MPIError
+
+
+class Window:
+    """An RMA window handle for one rank."""
+
+    def __init__(self, comm, win_id: Any, n_elements: int,
+                 buffer: np.ndarray | None) -> None:
+        self.comm = comm
+        self.win_id = win_id
+        self.n_elements = int(n_elements)
+        if buffer is None:
+            buffer = np.zeros(self.n_elements, dtype=np.float64)
+        if len(buffer) != self.n_elements:
+            raise MPIError(
+                f"window buffer has {len(buffer)} elements, declared "
+                f"{self.n_elements}"
+            )
+        self.buffer = buffer
+        self._pending: list[Event] = []
+        # Shared registry: every rank's buffer, keyed by local rank.
+        registry = comm.cluster.__dict__.setdefault("_rma_windows", {})
+        registry.setdefault(win_id, {})[comm.rank] = buffer
+        self._registry = registry[win_id]
+        # Incoming-completion tracking for fence semantics.
+        arrivals = comm.cluster.__dict__.setdefault("_rma_arrivals", {})
+        arrivals.setdefault(win_id, {})
+        self._arrivals = arrivals[win_id]
+
+    # -- epoch bookkeeping ------------------------------------------------------
+
+    def _note_incoming(self, target: int, done: Event) -> None:
+        self._arrivals.setdefault(target, []).append(done)
+
+    # -- operations ----------------------------------------------------------------
+
+    def put(self, target: int, data: np.ndarray,
+            offset: int = 0) -> Event:
+        """Write ``data`` into ``target``'s window at element ``offset``.
+
+        Returns a local-completion event (the origin buffer is reusable);
+        remote visibility is guaranteed only after :meth:`fence`.
+        """
+        comm = self.comm
+        if not (0 <= target < comm.size):
+            raise MPIError(f"target rank {target} out of range")
+        if offset < 0 or offset + len(data) > self.n_elements:
+            raise MPIError("put outside window bounds")
+        cluster = comm.cluster
+        fabric = cluster.fabric
+        src_node = cluster.placement[comm.world_rank]
+        dst_node = cluster.placement[comm._global(target)]
+        now = cluster.engine.now
+        t_cpu = cluster.transport.charge_cpu(
+            comm.world_rank, now, fabric.params.send_overhead
+        )
+        timing = fabric.message_timing(src_node, dst_node, data.nbytes, t_cpu)
+        local_done = cluster.engine.event("put.local")
+        remote_done = cluster.engine.event("put.remote")
+        cluster.engine.schedule(max(0.0, timing.inject_end - now),
+                                local_done.trigger, None)
+        payload = data.copy()
+        tgt_buffer = self._registry[target]
+
+        def land() -> None:
+            tgt_buffer[offset:offset + len(payload)] = payload
+            remote_done.trigger(None)
+
+        cluster.engine.schedule(max(0.0, timing.arrival - now), land)
+        self._pending.append(local_done)
+        self._note_incoming(target, remote_done)
+        return local_done
+
+    def get(self, target: int, n: int, offset: int = 0) -> Event:
+        """Read ``n`` elements from ``target``'s window; event value is
+        the data (fetched remotely without target CPU involvement)."""
+        comm = self.comm
+        if not (0 <= target < comm.size):
+            raise MPIError(f"target rank {target} out of range")
+        if offset < 0 or offset + n > self.n_elements:
+            raise MPIError("get outside window bounds")
+        cluster = comm.cluster
+        fabric = cluster.fabric
+        src_node = cluster.placement[comm.world_rank]
+        dst_node = cluster.placement[comm._global(target)]
+        now = cluster.engine.now
+        t_cpu = cluster.transport.charge_cpu(
+            comm.world_rank, now, fabric.params.send_overhead
+        )
+        # request travels on the control lane; data returns as a bulk
+        req = fabric.control_timing(src_node, dst_node, t_cpu)
+        back = fabric.message_timing(dst_node, src_node, 8 * n, req.arrival)
+        done = cluster.engine.event("get.done")
+        tgt_buffer = self._registry[target]
+
+        def land() -> None:
+            done.trigger(tgt_buffer[offset:offset + n].copy())
+
+        cluster.engine.schedule(max(0.0, back.arrival - now), land)
+        self._pending.append(done)
+        return done
+
+    def fence(self):
+        """Collective epoch close (generator).
+
+        Two-phase: complete locally issued operations and barrier (so
+        every rank has *issued* everything), then drain the operations
+        targeting this rank and barrier again (so every rank has *landed*
+        everything).
+        """
+        comm = self.comm
+        for ev in self._pending:
+            yield ev
+        self._pending.clear()
+        yield from comm.barrier()
+        incoming = self._arrivals.pop(comm.rank, [])
+        for ev in incoming:
+            yield ev
+        yield from comm.barrier()
+
+
+def win_create(comm, n_elements: int,
+               buffer: np.ndarray | None = None):
+    """Collective window creation (generator); returns the Window."""
+    if n_elements < 0:
+        raise MPIError("window size must be >= 0")
+    # Agree on a window id: one counter per communicator, advanced in
+    # lockstep on every rank (win_create is collective).
+    count = comm.__dict__.setdefault("_win_count", 0) + 1
+    comm._win_count = count
+    win = Window(comm, (comm._comm_key, "win", count), n_elements, buffer)
+    yield from comm.barrier()
+    return win

@@ -1,0 +1,85 @@
+"""Crossbar topologies.
+
+* :class:`CrossbarSwitch` — a single-stage full crossbar (small Myrinet
+  switches, intra-chassis links): one hop between any pair, full
+  bisection.
+* :class:`MultistageCrossbar` — the NEC IXS: a central 128x128 multistage
+  crossbar giving every node full link bandwidth to every other node with
+  a fixed small hop count.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigError
+from .topology import Topology
+
+
+class CrossbarSwitch(Topology):
+    """Single-stage full crossbar: 1 hop, non-blocking."""
+
+    def __init__(self, n_nodes: int, ports: int | None = None) -> None:
+        super().__init__(n_nodes)
+        if ports is not None and n_nodes > ports:
+            raise ConfigError(
+                f"crossbar has {ports} ports, cannot attach {n_nodes} nodes"
+            )
+        self.ports = ports if ports is not None else n_nodes
+
+    @property
+    def n_levels(self) -> int:
+        return 1
+
+    def path_level(self, a: int, b: int) -> int:
+        self.check_pair(a, b)
+        return 0 if a == b else 1
+
+    def hops(self, a: int, b: int) -> int:
+        self.check_pair(a, b)
+        return 0 if a == b else 1
+
+    def average_hops_analytic(self) -> float:
+        return 1.0 if self.n_nodes > 1 else 0.0
+
+    def level_capacity_links(self, level: int) -> float:
+        if level != 1:
+            raise ConfigError(f"crossbar has a single core level, got {level}")
+        return 2.0 * self.n_nodes  # non-blocking: full injection both ways
+
+
+class MultistageCrossbar(Topology):
+    """Multistage non-blocking crossbar (NEC IXS).
+
+    Constant ``stage_hops`` between any two nodes; full bisection up to
+    ``ports`` nodes.
+    """
+
+    def __init__(self, n_nodes: int, ports: int = 128, stage_hops: int = 2) -> None:
+        super().__init__(n_nodes)
+        if n_nodes > ports:
+            raise ConfigError(
+                f"multistage crossbar has {ports} ports, cannot attach {n_nodes}"
+            )
+        if stage_hops < 1:
+            raise ConfigError("stage_hops must be >= 1")
+        self.ports = int(ports)
+        self.stage_hops = int(stage_hops)
+
+    @property
+    def n_levels(self) -> int:
+        return 1
+
+    def path_level(self, a: int, b: int) -> int:
+        self.check_pair(a, b)
+        return 0 if a == b else 1
+
+    def hops(self, a: int, b: int) -> int:
+        self.check_pair(a, b)
+        return 0 if a == b else self.stage_hops
+
+    def average_hops_analytic(self) -> float:
+        return float(self.stage_hops) if self.n_nodes > 1 else 0.0
+
+    def level_capacity_links(self, level: int) -> float:
+        if level != 1:
+            raise ConfigError(f"crossbar has a single core level, got {level}")
+        return 2.0 * self.n_nodes

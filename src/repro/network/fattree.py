@@ -1,0 +1,118 @@
+"""Hierarchical fat-tree topology.
+
+Models both genuine fat trees (SGI NUMALINK4, where bisection bandwidth
+scales linearly with node count inside a box) and flat switched clusters
+with blocking factors (Dell/InfiniBand 3:1 core blocking, Myrinet Clos).
+
+The tree is described by ``group_sizes``: ``group_sizes[0]`` nodes share a
+leaf switch, ``group_sizes[1]`` leaf switches share a level-2 switch, and
+so on.  ``level_blocking[l]`` is the oversubscription factor of level
+``l+1``'s uplinks (1.0 = full bisection at that tier, 3.0 = 3:1 blocking).
+A message between nodes whose lowest common switch sits at level ``l``
+crosses ``2*l`` hops (up then down) and consumes the level-``l`` aggregate
+core resource.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..core.errors import ConfigError
+from .topology import Topology
+
+
+class FatTree(Topology):
+    """A fat tree described by per-tier group sizes and blocking factors."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        group_sizes: Sequence[int],
+        level_blocking: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(n_nodes)
+        if not group_sizes:
+            raise ConfigError("fat tree needs at least one tier")
+        if any(g < 1 for g in group_sizes):
+            raise ConfigError(f"group sizes must be >= 1, got {group_sizes!r}")
+        self.group_sizes = tuple(int(g) for g in group_sizes)
+        if level_blocking is None:
+            level_blocking = [1.0] * len(self.group_sizes)
+        if len(level_blocking) != len(self.group_sizes):
+            raise ConfigError("level_blocking must match group_sizes length")
+        if any(b < 1.0 for b in level_blocking):
+            raise ConfigError("blocking factors must be >= 1")
+        self.level_blocking = tuple(float(b) for b in level_blocking)
+        # Cumulative subtree widths: nodes under one switch at each level.
+        widths = []
+        w = 1
+        for g in self.group_sizes:
+            w *= g
+            widths.append(w)
+        self._widths = tuple(widths)
+        cap = math.prod(self.group_sizes)
+        if n_nodes > cap:
+            raise ConfigError(
+                f"fat tree holds at most {cap} nodes, asked for {n_nodes}"
+            )
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.group_sizes)
+
+    def path_level(self, a: int, b: int) -> int:
+        self.check_pair(a, b)
+        if a == b:
+            return 0
+        for level, w in enumerate(self._widths, start=1):
+            if a // w == b // w:
+                return level
+        return self.n_levels  # pragma: no cover - widths cover all nodes
+
+    def hops(self, a: int, b: int) -> int:
+        lvl = self.path_level(a, b)
+        if lvl == 0:
+            return 0
+        # Up lvl switches and down lvl switches, minus the shared apex.
+        return 2 * lvl - 1
+
+    def average_hops_analytic(self) -> float:
+        """Exact mean hops over distinct pairs in O(levels * subtrees).
+
+        Counts, per level, the ordered pairs confined to one level-``l``
+        subtree under the block fill used by rank placement; the pairs
+        whose lowest common switch sits exactly at level ``l`` are the
+        difference between consecutive levels.
+        """
+        n = self.n_nodes
+        if n < 2:
+            return 0.0
+
+        def pairs_within(width: int) -> int:
+            full, rem = divmod(n, width)
+            pairs = full * width * (width - 1)
+            pairs += rem * (rem - 1)
+            return pairs
+
+        total = 0.0
+        prev = 0  # pairs within a level-0 "subtree" (a single node)
+        for level, w in enumerate(self._widths, start=1):
+            cur = pairs_within(w)
+            total += (cur - prev) * (2 * level - 1)
+            prev = cur
+        return total / (n * (n - 1))
+
+    def level_capacity_links(self, level: int) -> float:
+        """Aggregate capacity of tier ``level`` in link-bandwidth units.
+
+        In a non-blocking tree every tier can carry all node injection
+        bandwidth (capacity ``2 * n``: n flows each way).  Blocking factors
+        divide the tiers they apply to, compounding upward.
+        """
+        if not (1 <= level <= self.n_levels):
+            raise ConfigError(f"level {level} out of range")
+        blocking = 1.0
+        for lvl in range(level):
+            blocking *= self.level_blocking[lvl]
+        return 2.0 * self.n_nodes / blocking

@@ -1,0 +1,63 @@
+"""Hypercube / modified-torus topology (Cray X1).
+
+The Cray X1 interconnect is a modified 4-D hypercube built from routing
+chips.  We model it as a binary hypercube over the node count rounded up
+to a power of two: hop count is the Hamming distance between node ids,
+and the network core is a single aggregate resource sized from the
+hypercube's bisection (``n/2`` links) boosted by the path diversity of
+dimension-ordered routing.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigError
+from .topology import Topology
+
+
+def _ceil_log2(n: int) -> int:
+    return max(1, (n - 1).bit_length())
+
+
+class Hypercube(Topology):
+    """Binary hypercube with ``dim = ceil(log2(n_nodes))`` dimensions."""
+
+    def __init__(self, n_nodes: int, dim: int | None = None) -> None:
+        super().__init__(n_nodes)
+        min_dim = _ceil_log2(n_nodes)
+        if dim is None:
+            dim = min_dim
+        if dim < min_dim:
+            raise ConfigError(
+                f"hypercube dim {dim} too small for {n_nodes} nodes"
+            )
+        self.dim = int(dim)
+
+    @property
+    def n_levels(self) -> int:
+        return 1
+
+    def path_level(self, a: int, b: int) -> int:
+        self.check_pair(a, b)
+        return 0 if a == b else 1
+
+    def hops(self, a: int, b: int) -> int:
+        self.check_pair(a, b)
+        if a == b:
+            return 0
+        return int(a ^ b).bit_count()
+
+    def average_hops_analytic(self) -> float:
+        n = self.n_nodes
+        if n < 2:
+            return 0.0
+        if n & (n - 1) == 0:
+            # Mean Hamming distance over distinct pairs of a full cube.
+            dim = n.bit_length() - 1
+            return dim * n / (2 * (n - 1))
+        return self.average_hops()
+
+    def level_capacity_links(self, level: int) -> float:
+        if level != 1:
+            raise ConfigError(f"hypercube has a single core level, got {level}")
+        # 2^dim/2 bisection links, both directions.
+        return 2.0 * (2 ** self.dim) / 2.0

@@ -1,0 +1,86 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import NetworkSpec, NodeSpec, ProcessorSpec
+from repro.machine.system import MachineSpec
+from repro.mpi.cluster import Cluster
+
+
+def make_test_machine(
+    *,
+    cpus_per_node: int = 2,
+    max_cpus: int = 64,
+    link_gbs: float = 1.0,
+    nic_gbs: float = 1.0,
+    base_latency_us: float = 2.0,
+    eager_threshold: int = 8192,
+    duplex_factor: float = 2.0,
+    topology_kind: str = "crossbar",
+    **net_kw,
+) -> MachineSpec:
+    """A small synthetic machine with round numbers for exact assertions."""
+    proc = ProcessorSpec(
+        name="TestProc",
+        clock_ghz=1.0,
+        peak_gflops=4.0,
+        is_vector=False,
+        dgemm_eff=0.9,
+        hpl_eff=0.8,
+        fft_eff=0.1,
+        stream_copy_gbs=2.0,
+        stream_triad_gbs=2.0,
+        random_update_gups=0.01,
+    )
+    node = NodeSpec(
+        cpus=cpus_per_node,
+        memory_gb=4.0,
+        shm_flow_gbs=2.0,
+        shm_node_gbs=4.0,
+        shm_latency_us=0.5,
+        memcpy_gbs=4.0,
+    )
+    net = NetworkSpec(
+        name="TestNet",
+        topology_kind=topology_kind,
+        link_gbs=link_gbs,
+        nic_gbs=nic_gbs,
+        base_latency_us=base_latency_us,
+        per_hop_latency_us=0.1,
+        send_overhead_us=0.2,
+        recv_overhead_us=0.2,
+        eager_threshold=eager_threshold,
+        bw_efficiency=1.0,
+        duplex_factor=duplex_factor,
+        **net_kw,
+    )
+    return MachineSpec(
+        name="testbox",
+        label="Test Box",
+        system_type="Scalar",
+        processor=proc,
+        node=node,
+        network=net,
+        max_cpus=max_cpus,
+    )
+
+
+@pytest.fixture
+def test_machine() -> MachineSpec:
+    return make_test_machine()
+
+
+def run_ranks(machine: MachineSpec, nprocs: int, program, *args,
+              trace: bool = False, seed: int | None = None, **kwargs):
+    """Run a rank program and return the RunResult."""
+    return Cluster(machine, nprocs, trace=trace, seed=seed).run(
+        program, *args, **kwargs
+    )
+
+
+def arange_payload(rank: int, n: int = 8) -> np.ndarray:
+    """A distinct, recognisable payload per rank."""
+    return np.arange(n, dtype=np.float64) + 100.0 * rank

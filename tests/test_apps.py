@@ -1,0 +1,109 @@
+"""Proxy-application tests: numerics and communication character."""
+
+import numpy as np
+import pytest
+
+from repro import get_machine
+from repro.apps import (
+    AMRConfig,
+    CGConfig,
+    SpectralConfig,
+    cg_program,
+    reference_solution,
+    run_amr,
+    run_cg,
+    run_spectral,
+)
+from repro.core.errors import BenchmarkError
+from repro.mpi.cluster import Cluster
+from tests.conftest import make_test_machine
+
+M = make_test_machine(cpus_per_node=2)
+
+
+# -- CG numerics --------------------------------------------------------------
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4])
+def test_cg_solves_poisson(p):
+    cfg = CGConfig(n_local=12, validate=True, tol=1e-12)
+    cluster = Cluster(M, p)
+    out = cluster.run(cg_program, cfg)
+    x = np.concatenate([r[4] for r in out.results])
+    ref = reference_solution(p, cfg)
+    assert np.allclose(x, ref, atol=1e-8)
+
+
+def test_cg_converges_to_sine():
+    """The discrete solution approximates u(x) = sin(pi x)."""
+    cfg = CGConfig(n_local=32, validate=True, tol=1e-12)
+    cluster = Cluster(M, 2)
+    out = cluster.run(cg_program, cfg)
+    x = np.concatenate([r[4] for r in out.results])
+    total = 64
+    xs = (np.arange(total) + 1) / (total + 1)
+    assert np.allclose(x, np.sin(np.pi * xs), atol=5e-3)
+
+
+def test_cg_residual_reported():
+    res = run_cg(M, 4, CGConfig(n_local=16, validate=True, tol=1e-10))
+    assert res.residual < 1e-10
+    assert res.iterations <= 10 * 64
+
+
+def test_cg_timing_mode_fixed_iterations():
+    res = run_cg(M, 4, CGConfig(n_local=1000, iterations=10))
+    assert res.iterations == 10
+    assert 0 < res.comm_fraction < 1
+    assert res.time_per_iteration_us > 0
+
+
+def test_cg_config_validation():
+    with pytest.raises(BenchmarkError):
+        run_cg(M, 2, CGConfig(n_local=1))
+
+
+def test_cg_single_rank_no_comm_loss():
+    res = run_cg(M, 1, CGConfig(n_local=64, validate=True))
+    assert res.residual < 1e-10
+
+
+# -- spectral ------------------------------------------------------------------
+
+def test_spectral_runs_and_reports():
+    res = run_spectral(M, 4, SpectralConfig(total_elements=1 << 12, steps=2))
+    assert res.elapsed > 0
+    assert 0 < res.comm_fraction < 1
+
+
+def test_spectral_divisibility():
+    with pytest.raises(BenchmarkError):
+        run_spectral(M, 3, SpectralConfig(total_elements=1 << 12))
+
+
+def test_spectral_is_communication_heavy_on_slow_network():
+    opt = run_spectral(get_machine("opteron"), 8,
+                       SpectralConfig(total_elements=1 << 14, steps=2))
+    sx8 = run_spectral(get_machine("sx8"), 8,
+                       SpectralConfig(total_elements=1 << 14, steps=2))
+    assert opt.comm_fraction > sx8.comm_fraction
+
+
+# -- AMR exchange ----------------------------------------------------------------
+
+def test_amr_runs_and_reports():
+    res = run_amr(M, 8, AMRConfig(steps=3))
+    assert res.elapsed > 0
+    assert 0 < res.comm_fraction < 1
+    assert res.time_per_step_us > 0
+
+
+def test_amr_ghost_layer_validation():
+    with pytest.raises(BenchmarkError):
+        run_amr(M, 2, AMRConfig(cells_per_rank=10, ghost_cells=100))
+
+
+def test_amr_half_duplex_penalty():
+    """The bidirectional ghost exchange punishes the Myrinet cluster."""
+    opt = run_amr(get_machine("opteron"), 16, AMRConfig(steps=2))
+    xeon = run_amr(get_machine("xeon"), 16, AMRConfig(steps=2))
+    assert opt.comm_fraction > xeon.comm_fraction

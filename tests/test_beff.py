@@ -1,0 +1,84 @@
+"""b_eff effective-bandwidth benchmark tests."""
+
+import pytest
+
+from repro import get_machine
+from repro.core.errors import BenchmarkError
+from repro.hpcc.beff import (
+    BeffConfig,
+    beff_message_sizes,
+    run_beff,
+)
+from tests.conftest import make_test_machine
+
+M = make_test_machine(cpus_per_node=2)
+
+CFG = BeffConfig(l_max=1 << 16, n_sizes=9, n_random_rings=2)
+
+
+def test_size_ladder_geometric():
+    sizes = beff_message_sizes(1 << 20, 21)
+    assert sizes[0] == 1
+    assert sizes[-1] == 1 << 20
+    assert sizes == sorted(set(sizes))
+    # roughly geometric: consecutive ratios within a factor band
+    ratios = [b / a for a, b in zip(sizes[5:], sizes[6:])]
+    assert all(1.3 < r < 3.5 for r in ratios)
+
+
+def test_size_ladder_validation():
+    with pytest.raises(BenchmarkError):
+        beff_message_sizes(1, 21)
+    with pytest.raises(BenchmarkError):
+        beff_message_sizes(1024, 1)
+
+
+def test_beff_runs_and_is_positive():
+    res = run_beff(M, 8, CFG)
+    assert res.beff_mbs > 0
+    assert res.total_gbs == pytest.approx(res.beff_mbs * 8 / 1e3)
+
+
+def test_beff_needs_two_ranks():
+    with pytest.raises(BenchmarkError):
+        run_beff(M, 1, CFG)
+
+
+def test_beff_below_peak_bandwidth():
+    """The log-size average sits far below the large-message peak."""
+    res = run_beff(M, 8, CFG)
+    peak = M.fabric_params().effective_point_bw / 1e6
+    assert res.beff_mbs < peak
+
+
+def test_natural_ring_at_least_random():
+    """Neighbour traffic exploits intra-node links; random does not."""
+    res = run_beff(M, 16, CFG)
+    assert res.ring_mbs >= 0.9 * res.random_mbs
+
+
+def test_beff_deterministic():
+    a = run_beff(M, 8, CFG)
+    b = run_beff(M, 8, CFG)
+    assert a.beff_mbs == b.beff_mbs
+
+
+def test_beff_machine_ordering_latency_weighted():
+    """The log-size average is latency-weighted: the low-latency Altix
+    leads b_eff even though the SX-8 owns the bandwidth benchmarks."""
+    vals = {}
+    for name in ("sx8", "altix_nl4", "opteron"):
+        vals[name] = run_beff(get_machine(name), 16, CFG).beff_mbs
+    assert vals["altix_nl4"] > vals["sx8"] > vals["opteron"]
+
+
+def test_beff_latency_sensitivity():
+    """Halving latency lifts b_eff noticeably (small sizes dominate the
+    log average), while barely moving the 64 KiB ring bandwidth."""
+    import dataclasses
+
+    fast = make_test_machine(base_latency_us=1.0)
+    slow = make_test_machine(base_latency_us=8.0)
+    b_fast = run_beff(fast, 8, CFG).beff_mbs
+    b_slow = run_beff(slow, 8, CFG).beff_mbs
+    assert b_fast > 1.3 * b_slow

@@ -1,0 +1,58 @@
+"""CLI entry points: repro.imb, repro.hpcc, repro.harness."""
+
+import pytest
+
+from repro.hpcc.__main__ import main as hpcc_main
+from repro.imb.__main__ import main as imb_main
+
+
+def test_imb_cli_single_size(capsys):
+    rc = imb_main(["Sendrecv", "--machine", "xeon", "-p", "4",
+                   "--msg", "4096"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Sendrecv on Dell Xeon Cluster" in out
+    assert "4096" in out
+
+
+def test_imb_cli_size_schedule(capsys):
+    rc = imb_main(["PingPong", "--machine", "opteron", "-p", "2",
+                   "--sizes", "--max-size", "1024"])
+    assert rc == 0
+    lines = capsys.readouterr().out.splitlines()
+    # header + column row + sizes 0..1024 (12 rows)
+    assert len(lines) == 2 + 12
+
+
+def test_imb_cli_list(capsys):
+    rc = imb_main(["--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Alltoall" in out and "Unidir_Put" in out
+
+
+def test_imb_cli_no_benchmark_is_usage_error(capsys):
+    assert imb_main([]) == 2
+
+
+def test_imb_cli_unknown_machine():
+    from repro.core.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        imb_main(["Barrier", "--machine", "deep_thought"])
+
+
+def test_hpcc_cli_full_suite(capsys):
+    rc = hpcc_main(["--machine", "opteron", "-p", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "G-HPL" in out
+    assert "RandomRing latency" in out
+    assert "STREAM Byte/Flop" in out
+
+
+def test_hpcc_cli_hpl_only(capsys):
+    rc = hpcc_main(["--machine", "sx8", "-p", "64", "--hpl-only"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "G-HPL" in out and "% of peak" in out

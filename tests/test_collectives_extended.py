@@ -1,0 +1,144 @@
+"""scan/exscan and gatherv/scatterv correctness."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import MPIError
+from repro.mpi import MAX, SUM
+from tests.conftest import make_test_machine, run_ranks
+
+M = make_test_machine(cpus_per_node=2, max_cpus=64)
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 13, 16]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scan_inclusive_prefix_sums(p):
+    def prog(comm):
+        out = yield from comm.scan(data=np.array([float(comm.rank + 1)]),
+                                   op=SUM)
+        return float(out[0])
+
+    out = run_ranks(M, p, prog)
+    for r in range(p):
+        assert out.results[r] == sum(range(1, r + 2)), r
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_exscan_exclusive_prefix_sums(p):
+    def prog(comm):
+        out = yield from comm.exscan(data=np.array([float(comm.rank + 1)]),
+                                     op=SUM)
+        return None if out is None else float(out[0])
+
+    out = run_ranks(M, p, prog)
+    assert out.results[0] is None
+    for r in range(1, p):
+        assert out.results[r] == sum(range(1, r + 1)), r
+
+
+def test_scan_with_max_operator():
+    p = 9
+    vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0]
+
+    def prog(comm):
+        out = yield from comm.scan(data=np.array([vals[comm.rank]]), op=MAX)
+        return float(out[0])
+
+    out = run_ranks(M, p, prog)
+    running = np.maximum.accumulate(vals)
+    assert list(out.results) == list(running)
+
+
+def test_scan_vector_payload():
+    p = 6
+
+    def prog(comm):
+        data = np.arange(4.0) * (comm.rank + 1)
+        out = yield from comm.scan(data=data, op=SUM)
+        return out
+
+    out = run_ranks(M, p, prog)
+    for r in range(p):
+        scale = sum(range(1, r + 2))
+        assert np.allclose(out.results[r], np.arange(4.0) * scale)
+
+
+@pytest.mark.parametrize("p", [2, 3, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_gatherv_variable_sizes(p, root):
+    counts = [8 * (r + 1) for r in range(p)]
+
+    def prog(comm):
+        data = np.full(comm.rank + 1, float(comm.rank))
+        out = yield from comm.gatherv(data=data, counts=counts, root=root)
+        return out
+
+    out = run_ranks(M, p, prog)
+    gathered = out.results[root]
+    for r in range(p):
+        assert np.array_equal(gathered[r], np.full(r + 1, float(r)))
+    for r in range(p):
+        if r != root:
+            assert out.results[r] is None
+
+
+@pytest.mark.parametrize("p", [2, 3, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_scatterv_variable_sizes(p, root):
+    counts = [8 * (r + 1) for r in range(p)]
+
+    def prog(comm):
+        datas = None
+        if comm.rank == root:
+            datas = [np.full(r + 1, float(r * 7)) for r in range(p)]
+        out = yield from comm.scatterv(datas=datas, counts=counts, root=root)
+        return out
+
+    out = run_ranks(M, p, prog)
+    for r in range(p):
+        assert np.array_equal(out.results[r], np.full(r + 1, float(r * 7)))
+
+
+def test_gatherv_scatterv_roundtrip():
+    p = 7
+    counts = [8 * ((r % 3) + 1) for r in range(p)]
+
+    def prog(comm):
+        data = np.full((comm.rank % 3) + 1, float(comm.rank))
+        gathered = yield from comm.gatherv(data=data, counts=counts, root=0)
+        back = yield from comm.scatterv(datas=gathered, counts=counts, root=0)
+        return back
+
+    out = run_ranks(M, p, prog)
+    for r in range(p):
+        assert np.array_equal(out.results[r],
+                              np.full((r % 3) + 1, float(r)))
+
+
+def test_gatherv_requires_counts():
+    def prog(comm):
+        with pytest.raises(MPIError, match="counts"):
+            yield from comm.gatherv(data=np.zeros(2))
+
+    run_ranks(M, 2, prog)
+
+
+def test_scatterv_wrong_count_length():
+    def prog(comm):
+        with pytest.raises(MPIError):
+            yield from comm.scatterv(datas=None, counts=[8])
+
+    run_ranks(M, 3, prog)
+
+
+def test_scan_traffic_structure():
+    """Recursive-doubling scan: ~P*log2(P) messages."""
+    import math
+    p = 8
+
+    def prog(comm):
+        yield from comm.scan(nbytes=64)
+
+    res = run_ranks(M, p, prog, trace=True)
+    assert res.tracer.message_count == p * math.log2(p)

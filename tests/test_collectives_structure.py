@@ -1,0 +1,190 @@
+"""Structural assertions on collective algorithms via the message tracer:
+the simulated algorithms must schedule exactly the messages the textbook
+algorithms describe."""
+
+import math
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_test_machine, run_ranks
+
+M = make_test_machine(cpus_per_node=2, max_cpus=64)
+
+
+def traced(p, prog):
+    return run_ranks(M, p, prog, trace=True).tracer
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+def test_dissemination_barrier_message_count(p):
+    def prog(comm):
+        yield from comm.barrier(algorithm="dissemination")
+
+    tr = traced(p, prog)
+    assert tr.message_count == p * math.ceil(math.log2(p))
+
+
+@pytest.mark.parametrize("p", [3, 5, 6])
+def test_dissemination_barrier_non_pow2(p):
+    def prog(comm):
+        yield from comm.barrier(algorithm="dissemination")
+
+    tr = traced(p, prog)
+    assert tr.message_count == p * math.ceil(math.log2(p))
+
+
+@pytest.mark.parametrize("p", [2, 5, 8, 13])
+def test_binomial_bcast_sends_p_minus_1(p):
+    def prog(comm):
+        yield from comm.bcast(nbytes=64, root=0, algorithm="binomial")
+
+    tr = traced(p, prog)
+    assert tr.message_count == p - 1
+
+
+@pytest.mark.parametrize("p", [2, 5, 8, 13])
+def test_binomial_reduce_sends_p_minus_1(p):
+    def prog(comm):
+        yield from comm.reduce(nbytes=64, root=0, algorithm="binomial")
+
+    tr = traced(p, prog)
+    assert tr.message_count == p - 1
+
+
+@pytest.mark.parametrize("p", [4, 8, 16])
+def test_recursive_doubling_allreduce_count(p):
+    def prog(comm):
+        yield from comm.allreduce(nbytes=64, algorithm="recursive_doubling")
+
+    tr = traced(p, prog)
+    assert tr.message_count == p * int(math.log2(p))
+
+
+@pytest.mark.parametrize("p", [5, 6, 7])
+def test_allreduce_fold_adds_messages_non_pow2(p):
+    def prog(comm):
+        yield from comm.allreduce(nbytes=64, algorithm="recursive_doubling")
+
+    tr = traced(p, prog)
+    p2 = 1 << (p.bit_length() - 1)
+    rem = p - p2
+    expected = p2 * int(math.log2(p2)) + 2 * rem  # fold + unfold
+    assert tr.message_count == expected
+
+
+@pytest.mark.parametrize("p", [3, 4, 8, 9])
+def test_ring_allgather_message_count(p):
+    def prog(comm):
+        yield from comm.allgather(nbytes=1024, algorithm="ring")
+
+    tr = traced(p, prog)
+    assert tr.message_count == p * (p - 1)
+
+
+@pytest.mark.parametrize("p", [4, 6, 8])
+def test_bruck_allgather_log_rounds(p):
+    def prog(comm):
+        yield from comm.allgather(nbytes=64, algorithm="bruck")
+
+    tr = traced(p, prog)
+    assert tr.message_count == p * math.ceil(math.log2(p))
+
+
+@pytest.mark.parametrize("p", [3, 4, 8])
+def test_pairwise_alltoall_message_count(p):
+    def prog(comm):
+        yield from comm.alltoall(nbytes=1024, algorithm="pairwise")
+
+    tr = traced(p, prog)
+    assert tr.message_count == p * (p - 1)
+
+
+@pytest.mark.parametrize("p", [4, 8])
+def test_bruck_alltoall_fewer_messages_than_pairwise(p):
+    def bruck(comm):
+        yield from comm.alltoall(nbytes=8, algorithm="bruck")
+
+    def pairwise(comm):
+        yield from comm.alltoall(nbytes=8, algorithm="pairwise")
+
+    assert traced(p, bruck).message_count < traced(p, pairwise).message_count
+
+
+def test_bruck_alltoall_total_bytes_exceed_pairwise():
+    """Bruck trades bandwidth (log-factor inflation) for latency."""
+    p, n = 8, 100
+
+    def bruck(comm):
+        yield from comm.alltoall(nbytes=n, algorithm="bruck")
+
+    def pairwise(comm):
+        yield from comm.alltoall(nbytes=n, algorithm="pairwise")
+
+    assert traced(p, bruck).total_bytes > traced(p, pairwise).total_bytes
+
+
+def test_scatter_ring_bcast_wire_volume():
+    """van de Geijn bcast: scatter moves n*log2(p)/2, the ring n*(p-1)."""
+    p, n = 8, 8192
+
+    def prog(comm):
+        yield from comm.bcast(nbytes=n, root=0, algorithm="scatter_ring")
+
+    tr = traced(p, prog)
+    expected = n * math.log2(p) / 2 + n * (p - 1)
+    assert tr.total_bytes == pytest.approx(expected, rel=0.05)
+
+
+def test_binomial_bcast_volume_is_payload_times_p_minus_1():
+    p, n = 8, 8192
+
+    def prog(comm):
+        yield from comm.bcast(nbytes=n, root=0, algorithm="binomial")
+
+    tr = traced(p, prog)
+    assert tr.total_bytes == n * (p - 1)
+
+
+def test_tuning_small_bcast_picks_binomial():
+    p = 16
+
+    def small(comm):
+        yield from comm.bcast(nbytes=256, root=0)
+
+    tr = traced(p, small)
+    assert tr.message_count == p - 1  # binomial signature
+
+
+def test_tuning_large_bcast_picks_scatter_ring():
+    p = 16
+
+    def large(comm):
+        yield from comm.bcast(nbytes=1024 * 1024, root=0)
+
+    tr = traced(p, large)
+    assert tr.message_count > p - 1  # scatter+ring sends more messages
+
+
+def test_intra_node_flag_in_trace():
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=64)   # same node (2 cpus/node)
+            yield from comm.send(2, nbytes=64)   # other node
+        elif comm.rank in (1, 2):
+            yield from comm.recv(0)
+
+    tr = traced(4, prog)
+    flags = {(m.src, m.dst): m.intra_node for m in tr.messages}
+    assert flags[(0, 1)] is True
+    assert flags[(0, 2)] is False
+
+
+def test_compute_records_traced():
+    def prog(comm):
+        yield from comm.compute(flops=1e6, nbytes=0, kernel="dgemm")
+
+    res = run_ranks(M, 2, prog, trace=True)
+    assert len(res.tracer.computes) == 2
+    assert all(c.kernel == "dgemm" for c in res.tracer.computes)
+    assert res.tracer.compute_time(0) > 0

@@ -1,0 +1,33 @@
+"""Smoke-run every example script as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+#: Examples that sweep larger configurations get a longer leash.
+TIMEOUTS = {"future_systems.py": 600, "climate_fft_workload.py": 300,
+            "hpl_tuning.py": 600, "checkpoint_io.py": 300}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script: Path):
+    timeout = TIMEOUTS.get(script.name, 180)
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "compare_interconnects.py",
+            "custom_machine.py", "climate_fft_workload.py",
+            "rma_halo_exchange.py", "future_systems.py"} <= names

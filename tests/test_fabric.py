@@ -1,0 +1,147 @@
+"""Unit tests for the fabric model (message timing + contention)."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.network import CrossbarSwitch, Fabric, FabricParams
+
+
+def make_params(**kw) -> FabricParams:
+    defaults = dict(
+        link_bw=1e9,
+        nic_bw=1e9,
+        base_latency=2e-6,
+        per_hop_latency=1e-7,
+        send_overhead=2e-7,
+        recv_overhead=2e-7,
+        eager_threshold=8192,
+        bw_efficiency=1.0,
+        shm_bw=4e9,
+        shm_flow_bw=2e9,
+        shm_latency=5e-7,
+        memcpy_bw=4e9,
+    )
+    defaults.update(kw)
+    return FabricParams(**defaults)
+
+
+def make_fabric(n_nodes=4, **kw) -> Fabric:
+    return Fabric(CrossbarSwitch(n_nodes), make_params(**kw))
+
+
+def test_intra_node_uses_shm_flow():
+    f = make_fabric()
+    t = f.message_timing(0, 0, 2e9, 0.0)
+    # 2 GB at 2 GB/s per-flow cap (node aggregate 4 GB/s not binding)
+    assert t.inject_end == pytest.approx(1.0)
+    assert t.arrival == pytest.approx(1.0 + 5e-7)
+
+
+def test_intra_node_aggregate_binds_concurrent_flows():
+    f = make_fabric()
+    # two concurrent 2 GB flows through a 4 GB/s node: each serialised on
+    # the aggregate for 0.5 s, flow cap 1 s from own start
+    t1 = f.message_timing(0, 0, 2e9, 0.0)
+    t2 = f.message_timing(0, 0, 2e9, 0.0)
+    assert t1.inject_start == 0.0
+    assert t2.inject_start == pytest.approx(0.5)
+    assert t2.inject_end == pytest.approx(1.5)
+
+
+def test_inter_node_bandwidth_and_latency():
+    f = make_fabric()
+    t = f.message_timing(0, 1, 1e9, 0.0)
+    assert t.inject_end == pytest.approx(1.0)      # 1 GB at 1 GB/s
+    # crossbar: 1 hop
+    assert t.arrival == pytest.approx(1.0 + 2e-6 + 1e-7)
+
+
+def test_egress_serialises_two_sends():
+    f = make_fabric()
+    t1 = f.message_timing(0, 1, 1e9, 0.0)
+    t2 = f.message_timing(0, 2, 1e9, 0.0)
+    assert t2.inject_end == pytest.approx(2.0)
+
+
+def test_ingress_serialises_two_receives():
+    f = make_fabric()
+    t1 = f.message_timing(1, 0, 1e9, 0.0)
+    t2 = f.message_timing(2, 0, 1e9, 0.0)
+    assert max(t1.arrival, t2.arrival) == pytest.approx(2.0 + 2.1e-6)
+
+
+def test_full_duplex_send_and_recv_overlap():
+    f = make_fabric()  # duplex_factor defaults to 2
+    out = f.message_timing(0, 1, 1e9, 0.0)
+    inc = f.message_timing(1, 0, 1e9, 0.0)
+    assert out.inject_end == pytest.approx(1.0)
+    assert inc.inject_end == pytest.approx(1.0)
+
+
+def test_half_duplex_bus_serialises_directions():
+    f = make_fabric(duplex_factor=1.0)
+    out = f.message_timing(0, 1, 1e9, 0.0)
+    inc = f.message_timing(1, 0, 1e9, 0.0)
+    # the shared bus at node 0 (and 1) carries 2 GB at 1 GB/s
+    assert max(out.inject_end, inc.inject_end) == pytest.approx(2.0)
+
+
+def test_single_stream_capped_at_link_rate():
+    f = make_fabric(nic_bw=4e9)  # fat NIC, thin link
+    t = f.message_timing(0, 1, 1e9, 0.0)
+    assert t.inject_end == pytest.approx(1.0)  # still 1 GB/s link
+
+
+def test_control_timing_skips_bandwidth_queues():
+    f = make_fabric()
+    f.message_timing(0, 1, 1e9, 0.0)          # deep bulk queue
+    c = f.control_timing(0, 1, 0.0)
+    assert c.arrival == pytest.approx(2.1e-6)  # latency only
+
+
+def test_eager_threshold():
+    f = make_fabric(eager_threshold=100)
+    assert f.is_eager(100)
+    assert not f.is_eager(101)
+
+
+def test_memcpy_time():
+    f = make_fabric()
+    assert f.memcpy_time(4e9) == pytest.approx(1.0)
+
+
+def test_latency_intra_vs_inter():
+    f = make_fabric()
+    assert f.latency(0, 0) == pytest.approx(5e-7)
+    assert f.latency(0, 1) == pytest.approx(2.1e-6)
+
+
+def test_reset_clears_contention():
+    f = make_fabric()
+    f.message_timing(0, 1, 1e9, 0.0)
+    f.reset()
+    t = f.message_timing(0, 1, 1e9, 0.0)
+    assert t.inject_start == 0.0
+
+
+def test_param_validation():
+    with pytest.raises(ConfigError):
+        make_params(link_bw=0)
+    with pytest.raises(ConfigError):
+        make_params(base_latency=-1e-6)
+    with pytest.raises(ConfigError):
+        make_params(bw_efficiency=1.5)
+    with pytest.raises(ConfigError):
+        make_params(duplex_factor=0.5)
+    with pytest.raises(ConfigError):
+        make_params(duplex_factor=2.5)
+    with pytest.raises(ConfigError):
+        make_params(eager_threshold=-1)
+    with pytest.raises(ConfigError):
+        make_params(shm_flow_bw=-2.0)
+
+
+def test_bw_efficiency_derates_link():
+    f = make_fabric(bw_efficiency=0.5)
+    t = f.message_timing(0, 1, 1e9, 0.0)
+    assert t.inject_end == pytest.approx(2.0)

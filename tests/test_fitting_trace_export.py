@@ -1,0 +1,104 @@
+"""LogGP fitting and Chrome-trace export tests."""
+
+import json
+
+import pytest
+
+from repro import get_machine
+from repro.analysis.chrome_trace import chrome_trace_events, write_chrome_trace
+from repro.analysis.fitting import fit_loggp, fit_report, measure_one_way
+from repro.mpi.cluster import Cluster
+from tests.conftest import make_test_machine
+
+M = make_test_machine(cpus_per_node=2)
+
+
+# -- fitting ----------------------------------------------------------------
+
+def test_fit_recovers_configured_bandwidth():
+    """The regression must recover the catalog's burst bandwidth."""
+    fit = fit_loggp(M, intra_node=False)
+    configured = M.fabric_params().effective_point_bw / 1e9
+    assert fit.bandwidth_gbs == pytest.approx(configured, rel=0.1)
+    assert fit.r_squared > 0.999
+
+
+def test_fit_recovers_intra_node_flow():
+    fit = fit_loggp(M, intra_node=True)
+    configured = M.node.shm_flow_gbs
+    assert fit.bandwidth_gbs == pytest.approx(configured, rel=0.15)
+
+
+def test_fit_latency_positive_and_ordered():
+    inter = fit_loggp(M, intra_node=False)
+    intra = fit_loggp(M, intra_node=True)
+    assert 0 < intra.latency_us < inter.latency_us
+
+
+def test_fit_paper_bandwidth_anchors():
+    """Fitting the simulated Xeon recovers the 841 MB/s IB anchor."""
+    fit = fit_loggp(get_machine("xeon"), intra_node=False)
+    assert fit.bandwidth_gbs * 1000 == pytest.approx(841, rel=0.1)
+
+
+def test_n_half_reasonable():
+    fit = fit_loggp(get_machine("opteron"), intra_node=False)
+    # latency ~us, bandwidth ~GB/s => n_1/2 in the KiB-tens-of-KiB range
+    assert 512 < fit.n_half < 128 * 1024
+
+
+def test_measure_one_way_monotone():
+    t_small = measure_one_way(M, 64)
+    t_big = measure_one_way(M, 1 << 20)
+    assert t_big > t_small
+
+
+def test_fit_report_text():
+    text = fit_report(M)
+    assert "inter-node" in text and "intra-node" in text
+    assert "n_1/2" in text
+
+
+# -- chrome trace export ------------------------------------------------------
+
+def _traced_cluster():
+    cluster = Cluster(M, 4, trace=True)
+
+    def prog(comm):
+        yield from comm.compute(flops=1e6, kernel="dgemm")
+        yield from comm.allreduce(nbytes=4096)
+
+    cluster.run(prog)
+    return cluster
+
+
+def test_trace_events_structure():
+    cluster = _traced_cluster()
+    events = chrome_trace_events(cluster)
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "s", "f"} <= phases
+    # one metadata row per rank
+    assert sum(1 for e in events if e["ph"] == "M") == 4
+    # every flow start has a matching finish with the same id
+    starts = {e["id"] for e in events if e["ph"] == "s"}
+    ends = {e["id"] for e in events if e["ph"] == "f"}
+    assert starts == ends and starts
+
+
+def test_trace_timestamps_non_negative_and_ordered():
+    cluster = _traced_cluster()
+    by_id = {}
+    for e in chrome_trace_events(cluster):
+        assert e.get("ts", 0) >= 0
+        if e["ph"] in ("s", "f"):
+            by_id.setdefault(e["id"], {})[e["ph"]] = e["ts"]
+    for pair in by_id.values():
+        assert pair["f"] >= pair["s"]
+
+
+def test_write_chrome_trace_valid_json(tmp_path):
+    cluster = _traced_cluster()
+    path = write_chrome_trace(cluster, tmp_path / "run.json")
+    data = json.loads(path.read_text())
+    assert "traceEvents" in data
+    assert len(data["traceEvents"]) > 10

@@ -1,0 +1,81 @@
+"""Extended-harness tests: size sweeps, one-sided comparison, sequel."""
+
+import pytest
+
+from repro import get_machine
+from repro.harness.extended import (
+    SWEEP_MAX_BYTES,
+    message_size_sweep,
+    onesided_comparison,
+    sequel_study,
+    size_sweep_figure,
+    sweep_sizes,
+)
+
+
+def test_sweep_sizes_range():
+    sizes = sweep_sizes()
+    assert sizes[0] == 1
+    assert sizes[-1] == SWEEP_MAX_BYTES
+    assert all(b == 2 * a for a, b in zip(sizes, sizes[1:]))
+
+
+def test_message_size_sweep_monotone_time():
+    m = get_machine("xeon")
+    pts = message_size_sweep(m, "Sendrecv", 4, sizes=[64, 4096, 262144])
+    times = [t for (_s, t, _bw) in pts]
+    assert times == sorted(times)
+
+
+def test_message_size_sweep_bandwidth_saturates():
+    """Small messages are latency-bound; large ones approach link rate."""
+    m = get_machine("xeon")
+    pts = message_size_sweep(m, "PingPong", 2,
+                             sizes=[64, 65536, 2 * 1024 * 1024])
+    bws = [bw for (_s, _t, bw) in pts]
+    assert bws[0] < bws[1] < bws[2]
+    # large-message PingPong on ranks 0/1 rides shared memory
+    shm = m.node.shm_flow_gbs * 1024  # MB/s-ish ceiling
+    assert bws[2] < shm * 1.2
+
+
+def test_size_sweep_figure_structure():
+    fig = size_sweep_figure("Allreduce", nprocs=8,
+                            machines=("sx8", "xeon"), sizes=[64, 65536])
+    assert {s.machine for s in fig.series} == {"sx8", "xeon"}
+    for s in fig.series:
+        assert len(s.x) == len(s.y) == 2
+        assert s.y[1] > s.y[0]
+
+
+def test_size_sweep_vector_lead_grows_with_size():
+    """At 1 B the vector machines' latency handicap shows; by 2 MB the
+    SX-8's bandwidth dominates — the crossover the sweep exists to show."""
+    fig = size_sweep_figure("Allreduce", nprocs=8,
+                            machines=("sx8", "xeon"),
+                            sizes=[1, 2 * 1024 * 1024])
+    sx8 = fig.by_machine("sx8")
+    xeon = fig.by_machine("xeon")
+    small_ratio = xeon.y[0] / sx8.y[0]
+    large_ratio = xeon.y[1] / sx8.y[1]
+    assert large_ratio > 2 * small_ratio
+
+
+def test_onesided_comparison_rdma_competitive():
+    out = onesided_comparison(nprocs=4)
+    for name, row in out.items():
+        # one-sided put should be within ~2x of the two-sided transfer
+        assert row["Unidir_Put"] < 2.5 * row["PingPong"], name
+        assert row["Unidir_Get"] > 0
+
+
+def test_sequel_study_rows():
+    rows = sequel_study(nprocs=32)
+    names = {r["machine"] for r in rows}
+    assert names == {"bluegene_p", "cray_xt4", "cray_x1e", "power5", "gige"}
+    by = {r["machine"]: r for r in rows}
+    # GigE is the weakest network of the sequel set
+    assert by["gige"]["b_per_kflop"] == min(
+        r["b_per_kflop"] for r in rows)
+    # every efficiency in (0, 1)
+    assert all(0 < r["hpl_efficiency"] < 1 for r in rows)

@@ -1,0 +1,136 @@
+"""G-PTRANS and G-FFTE tests: numeric validation and timing sanity."""
+
+import numpy as np
+import pytest
+
+from repro import get_machine
+from repro.core.errors import BenchmarkError
+from repro.hpcc.fft import FFTConfig, fft_program, run_fft
+from repro.hpcc.ptrans import (
+    PtransConfig,
+    _block_starts,
+    process_grid,
+    ptrans_program,
+    reference_ptrans,
+    run_ptrans,
+)
+from repro.mpi.cluster import Cluster
+from tests.conftest import make_test_machine
+
+M = make_test_machine(cpus_per_node=2, max_cpus=64)
+
+
+# -- process grid -------------------------------------------------------------------
+
+@pytest.mark.parametrize("p,grid", [
+    (1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (6, (2, 3)),
+    (12, (3, 4)), (16, (4, 4)), (64, (8, 8)), (48, (6, 8)),
+])
+def test_process_grid_near_square(p, grid):
+    assert process_grid(p) == grid
+
+
+def test_block_starts_cover_range():
+    starts = _block_starts(10, 3)
+    assert starts == [0, 4, 7, 10]
+
+
+# -- PTRANS -------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p", [1, 2, 4, 6, 9, 12])
+def test_ptrans_validates_against_numpy(p):
+    n = 36
+    cl = Cluster(M, p)
+    out = cl.run(ptrans_program, PtransConfig(n=n, validate=True))
+    ref = reference_ptrans(n, cl.seed)
+    pr, pc = process_grid(p)
+    rs, cs = _block_starts(n, pr), _block_starts(n, pc)
+    for rank, (_el, a) in enumerate(out.results):
+        i, j = divmod(rank, pc)
+        assert np.allclose(a, ref[rs[i]:rs[i + 1], cs[j]:cs[j + 1]]), rank
+
+
+def test_ptrans_square_grid_is_pairwise():
+    """On a square grid each rank exchanges with exactly one partner."""
+    cl = Cluster(M, 4, trace=True)
+    cl.run(ptrans_program, PtransConfig(n=32))
+    big = [m for m in cl.tracer.messages if m.nbytes > 100]
+    # off-diagonal ranks 1 and 2 exchange; diagonal ranks self-contained
+    pairs = {(m.src, m.dst) for m in big}
+    assert pairs == {(1, 2), (2, 1)}
+
+
+def test_ptrans_gbs_positive_and_finite():
+    res = run_ptrans(M, 8, PtransConfig(n=256))
+    assert 0 < res.gbs < 1e6
+    assert res.elapsed > 0
+
+
+def test_ptrans_needs_enough_rows():
+    with pytest.raises(BenchmarkError):
+        run_ptrans(M, 8, PtransConfig(n=4))
+
+
+def test_ptrans_deterministic():
+    a = run_ptrans(M, 6, PtransConfig(n=120)).gbs
+    b = run_ptrans(M, 6, PtransConfig(n=120)).gbs
+    assert a == b
+
+
+def test_ptrans_sx8_beats_xeon():
+    """Paper: SX-8 dominates PTRANS (memory + network bandwidth)."""
+    n = 1024
+    sx8 = run_ptrans(get_machine("sx8"), 16, PtransConfig(n=n)).gbs
+    xeon = run_ptrans(get_machine("xeon"), 16, PtransConfig(n=n)).gbs
+    assert sx8 > 5 * xeon
+
+
+# -- FFT ----------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_fft_validates_against_numpy(p):
+    n = p * p * 8
+    cl = Cluster(M, p)
+    out = cl.run(fft_program, FFTConfig(total_elements=n, validate=True))
+    rng_seeded = cl.seed
+    from repro.core.rng import make_rng
+    rng = make_rng(rng_seeded, 333)
+    x = rng.random(n) + 1j * rng.random(n)
+    ref = np.fft.fft(x)
+    n_local = n // p
+    for rank, (_el, slice_) in enumerate(out.results):
+        assert np.allclose(slice_, ref[rank * n_local:(rank + 1) * n_local])
+
+
+def test_fft_divisibility_enforced():
+    with pytest.raises(BenchmarkError):
+        Cluster(M, 3).run(fft_program, FFTConfig(total_elements=64))
+
+
+def test_fft_gflops_accounting():
+    res = run_fft(M, 4, FFTConfig(total_elements=1 << 12))
+    import math
+    expected_flops = 5 * (1 << 12) * math.log2(1 << 12)
+    assert res.gflops == pytest.approx(expected_flops / res.elapsed / 1e9)
+
+
+def test_fft_macro_close_to_algorithmic():
+    cfg = FFTConfig(total_elements=1 << 14)
+    alg = run_fft(M, 8, cfg, mode="algorithmic")
+    mac = run_fft(M, 8, cfg, mode="macro")
+    assert mac.elapsed == pytest.approx(alg.elapsed, rel=0.6)
+
+
+def test_fft_auto_switches_to_macro_at_scale():
+    m = get_machine("xeon")
+    res = run_fft(m, 512, FFTConfig(total_elements=512 * 512 * 4),
+                  mode="auto")
+    assert res.gflops > 0
+
+
+def test_fft_alltoall_dominated_on_slow_network():
+    """G-FFT tracks alltoall performance (paper Fig 12 discussion)."""
+    n = 1 << 14
+    sx8 = run_fft(get_machine("sx8"), 8, FFTConfig(total_elements=n))
+    opt = run_fft(get_machine("opteron"), 8, FFTConfig(total_elements=n))
+    assert sx8.gflops > opt.gflops

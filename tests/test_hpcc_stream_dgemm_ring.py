@@ -1,0 +1,142 @@
+"""HPCC EP-STREAM, EP-DGEMM and random-ring benchmark tests."""
+
+import numpy as np
+import pytest
+
+from repro import get_machine
+from repro.core.errors import BenchmarkError
+from repro.hpcc import (
+    DgemmConfig,
+    RingConfig,
+    StreamConfig,
+    run_dgemm,
+    run_ring,
+    run_stream,
+)
+from tests.conftest import make_test_machine
+
+M = make_test_machine()
+
+
+# -- STREAM -----------------------------------------------------------------------
+
+def test_stream_copy_matches_machine_spec():
+    res = run_stream(M, 4)
+    # test machine: 2.0 GB/s copy, full-node scale 1.0
+    assert res.copy_gbs == pytest.approx(2.0, rel=0.01)
+    assert res.system_copy_gbs == pytest.approx(8.0, rel=0.01)
+
+
+def test_stream_triad_slower_or_equal_than_copy_rate_basis():
+    res = run_stream(M, 2)
+    assert res.triad_gbs <= res.copy_gbs * 1.5 + 1e-9
+    assert res.add_gbs > 0 and res.scale_gbs > 0
+
+
+def test_stream_node_scale_applied():
+    m = make_test_machine()
+    import dataclasses
+    node = dataclasses.replace(m.node, stream_node_scale=0.5)
+    m2 = dataclasses.replace(m, node=node)
+    assert run_stream(m2, 2).copy_gbs == pytest.approx(1.0, rel=0.01)
+
+
+def test_stream_validate_mode_runs_real_kernels():
+    res = run_stream(M, 2, StreamConfig(validate=True, n_elements=1000,
+                                        validate_elements=256))
+    assert res.copy_gbs > 0
+
+
+def test_stream_rejects_empty_arrays():
+    with pytest.raises(BenchmarkError):
+        run_stream(M, 2, StreamConfig(n_elements=0))
+
+
+def test_sx8_stream_anchor():
+    """Paper Fig 4: NEC SX-8 sustains > 2.67 Byte per HPL flop."""
+    m = get_machine("sx8")
+    res = run_stream(m, 8)
+    hpl_flops = m.processor.peak_gflops * m.processor.hpl_eff
+    assert res.copy_gbs / hpl_flops > 2.67
+
+
+def test_stream_vector_vs_scalar_gap():
+    """An order of magnitude between SX-8 and the scalar systems."""
+    sx8 = run_stream(get_machine("sx8"), 8).copy_gbs
+    xeon = run_stream(get_machine("xeon"), 8).copy_gbs
+    assert sx8 / xeon > 10
+
+
+# -- DGEMM ------------------------------------------------------------------------
+
+def test_dgemm_rate_matches_spec():
+    res = run_dgemm(M, 4)
+    assert res.gflops_per_proc == pytest.approx(4.0 * 0.9, rel=0.01)
+    assert res.system_gflops == pytest.approx(4 * 3.6, rel=0.01)
+
+
+def test_dgemm_validate_mode():
+    res = run_dgemm(M, 2, DgemmConfig(validate=True, validate_n=16))
+    assert res.gflops_per_proc > 0
+
+
+def test_dgemm_rejects_bad_n():
+    with pytest.raises(BenchmarkError):
+        run_dgemm(M, 2, DgemmConfig(n=0))
+
+
+@pytest.mark.parametrize("name,expected", [
+    ("sx8", 16.0 * 0.96),
+    ("opteron", 4.0 * 0.90),
+    ("altix_nl4", 6.4 * 0.92),
+])
+def test_dgemm_paper_machines(name, expected):
+    res = run_dgemm(get_machine(name), 4)
+    assert res.gflops_per_proc == pytest.approx(expected, rel=0.01)
+
+
+# -- random ring ---------------------------------------------------------------------
+
+def test_ring_single_rank_trivial():
+    res = run_ring(M, 1)
+    assert res.latency_us == 0.0
+
+
+def test_ring_bandwidth_below_link_rate():
+    res = run_ring(M, 8, RingConfig(n_rings=3))
+    # per-CPU send bandwidth cannot exceed the per-node NIC rate
+    assert 0 < res.bandwidth_gbs < 1.0
+
+
+def test_ring_latency_exceeds_base_latency():
+    res = run_ring(M, 8, RingConfig(n_rings=3))
+    assert res.latency_us > M.network.base_latency_us
+
+
+def test_natural_ring_beats_random_ring():
+    """Natural rings keep one neighbour on-node: more bandwidth."""
+    mach = make_test_machine(cpus_per_node=4)
+    natural = run_ring(mach, 16, RingConfig(n_rings=3, random_order=False))
+    random_ = run_ring(mach, 16, RingConfig(n_rings=3, random_order=True))
+    assert natural.bandwidth_gbs >= random_.bandwidth_gbs
+
+
+def test_ring_deterministic_across_runs():
+    a = run_ring(M, 8, RingConfig(n_rings=2))
+    b = run_ring(M, 8, RingConfig(n_rings=2))
+    assert a.bandwidth_gbs == b.bandwidth_gbs
+    assert a.latency_us == b.latency_us
+
+
+def test_ring_accumulated_scales():
+    res = run_ring(M, 8, RingConfig(n_rings=2))
+    assert res.accumulated_gbs == pytest.approx(8 * res.bandwidth_gbs)
+
+
+def test_altix_best_ring_latency_among_paper_machines():
+    """Paper Table 3: the Altix has the lowest random-ring latency."""
+    lats = {}
+    for name in ("altix_nl4", "sx8", "xeon", "opteron"):
+        m = get_machine(name)
+        lats[name] = run_ring(m, 16, RingConfig(n_rings=3)).latency_us
+    assert min(lats, key=lats.get) == "altix_nl4"

@@ -1,0 +1,85 @@
+"""Single/Star/Global HPCC variant tests."""
+
+import pytest
+
+from repro import get_machine
+from repro.hpcc.variants import (
+    dgemm_variants,
+    fft_variants,
+    full_variant_table,
+    randomaccess_variants,
+    stream_variants,
+)
+from tests.conftest import make_test_machine
+
+M = make_test_machine(cpus_per_node=2)
+
+
+def test_stream_star_no_worse_than_single_on_private_memory():
+    """Test machine has no node sharing: Star == Single."""
+    v = stream_variants(M, 4)
+    assert v.star == pytest.approx(v.single, rel=0.01)
+    assert v.unit == "GB/s"
+
+
+def test_stream_star_penalty_on_shared_fsb():
+    """The Xeon pair shares a front-side bus: Star < Single."""
+    v = stream_variants(get_machine("xeon"), 8)
+    assert v.star < v.single
+    assert v.star_efficiency == pytest.approx(0.85, rel=0.02)
+
+
+def test_dgemm_star_equals_single():
+    """DGEMM is cache-resident: node sharing is free."""
+    v = dgemm_variants(get_machine("xeon"), 8)
+    assert v.star == pytest.approx(v.single, rel=0.01)
+
+
+def test_fft_global_below_star_aggregate():
+    """The distributed FFT pays alltoalls the Star mode does not."""
+    v = fft_variants(get_machine("opteron"), 8)
+    assert v.global_ is not None
+    assert v.global_ < v.star * 8
+
+
+def test_randomaccess_global_far_below_local():
+    """Remote updates are orders slower than the local update rate."""
+    v = randomaccess_variants(get_machine("opteron"), 8)
+    assert v.global_ is not None
+    assert v.global_ < 0.2 * v.star * 8
+
+
+def test_full_variant_table_rows():
+    rows = full_variant_table(M, 4)
+    assert [r.benchmark for r in rows] == [
+        "STREAM_Triad", "DGEMM", "FFT", "RandomAccess",
+    ]
+    for r in rows:
+        assert r.single > 0 and r.star > 0
+
+
+def test_vector_machine_fft_star_is_slow():
+    """The SX-8's scalar unit throttles Star-FFT (paper: HPCC's FFT does
+    not vectorise), even though its STREAM Star is enormous."""
+    sx8 = full_variant_table(get_machine("sx8"), 8)
+    xeon = full_variant_table(get_machine("xeon"), 8)
+    by = lambda rows, b: next(r for r in rows if r.benchmark == b)  # noqa: E731
+    assert by(sx8, "STREAM_Triad").star > 10 * by(xeon, "STREAM_Triad").star
+    assert by(sx8, "FFT").star < 20 * by(xeon, "FFT").star
+
+
+def test_verification_battery_passes_everywhere():
+    from repro.hpcc.verification import run_verification
+
+    for name in ("sx8", "xeon", "x1_msp"):
+        report = run_verification(get_machine(name), 4)
+        assert report.all_passed, str(report)
+
+
+def test_verification_report_rendering():
+    from repro.hpcc.verification import run_verification
+
+    report = run_verification(M, 4)
+    text = str(report)
+    assert "PASSED" in text and "overall:" in text
+    assert len(report.items) == 4

@@ -1,0 +1,139 @@
+"""IMB framework and benchmark semantics."""
+
+import pytest
+
+from repro import get_machine
+from repro.core.errors import BenchmarkError
+from repro.imb import (
+    BENCHMARKS,
+    PAPER_BENCHMARKS,
+    get_benchmark,
+    imb_message_sizes,
+    run_benchmark,
+    run_suite,
+    sweep_benchmark,
+)
+from tests.conftest import make_test_machine
+
+M = make_test_machine(cpus_per_node=2, max_cpus=64)
+MB = 1024 * 1024
+
+
+def test_all_twelve_paper_benchmarks_registered():
+    assert set(PAPER_BENCHMARKS) <= set(BENCHMARKS)
+    assert len(PAPER_BENCHMARKS) == 12
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(BenchmarkError, match="unknown IMB benchmark"):
+        get_benchmark("Gossip")
+
+
+def test_message_size_schedule():
+    sizes = imb_message_sizes(16)
+    assert sizes == [0, 1, 2, 4, 8, 16]
+    full = imb_message_sizes()
+    assert full[-1] == 4 * 1024 * 1024
+    assert full[0] == 0
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_BENCHMARKS))
+def test_each_benchmark_runs_and_reports(name):
+    res = run_benchmark(M, name, 8, 4096)
+    assert res.time_us > 0
+    assert res.nprocs == 8
+    assert res.benchmark == name
+
+
+def test_min_procs_enforced():
+    with pytest.raises(BenchmarkError, match=">= 2"):
+        run_benchmark(M, "PingPong", 1)
+
+
+def test_bad_iterations_rejected():
+    with pytest.raises(BenchmarkError):
+        get_benchmark("Barrier").run(M, 4, iterations=0)
+
+
+def test_pingpong_reports_half_round_trip():
+    res = run_benchmark(M, "PingPong", 2, 0)
+    # one-way zero-byte time ~ overheads + shm latency (ranks share a node)
+    p = M.fabric_params()
+    one_way = (p.send_overhead + p.shm_latency + p.recv_overhead) * 1e6
+    assert res.time_us == pytest.approx(one_way, rel=0.3)
+
+
+def test_pingping_slower_than_pingpong():
+    pp = run_benchmark(M, "PingPong", 2, MB).time_us
+    ping2 = run_benchmark(M, "PingPing", 2, MB).time_us
+    assert ping2 > pp  # obstructed by the oncoming message
+
+
+def test_sendrecv_bandwidth_accounting():
+    res = run_benchmark(M, "Sendrecv", 4, MB)
+    expected = 2 * MB / (res.time_us * 1e-6) / MB
+    assert res.bandwidth_mbs == pytest.approx(expected)
+
+
+def test_exchange_counts_4x_bytes():
+    res = run_benchmark(M, "Exchange", 4, MB)
+    expected = 4 * MB / (res.time_us * 1e-6) / MB
+    assert res.bandwidth_mbs == pytest.approx(expected)
+
+
+def test_collectives_report_no_bandwidth():
+    res = run_benchmark(M, "Allreduce", 4, 4096)
+    assert res.bandwidth_mbs is None
+
+
+def test_barrier_time_grows_with_ranks():
+    t4 = run_benchmark(M, "Barrier", 4, 0).time_us
+    t32 = run_benchmark(M, "Barrier", 32, 0).time_us
+    assert t32 > t4
+
+
+def test_alltoall_grows_superlinearly_with_ranks():
+    t4 = run_benchmark(M, "Alltoall", 4, 65536).time_us
+    t16 = run_benchmark(M, "Alltoall", 16, 65536).time_us
+    assert t16 > 3 * t4
+
+
+def test_allgather_equals_allgatherv_at_uniform_sizes():
+    a = run_benchmark(M, "Allgather", 8, 65536).time_us
+    v = run_benchmark(M, "Allgatherv", 8, 65536).time_us
+    assert v == pytest.approx(a, rel=0.05)
+
+
+def test_iterations_average_consistently():
+    one = run_benchmark(M, "Sendrecv", 4, 65536, iterations=1).time_us
+    four = run_benchmark(M, "Sendrecv", 4, 65536, iterations=4).time_us
+    assert four == pytest.approx(one, rel=0.25)
+
+
+def test_sweep_covers_cpu_counts():
+    sweep = sweep_benchmark(M, "Bcast", cpu_counts=[2, 4, 8], msg_bytes=4096)
+    assert [p for p, _t in sweep.series()] == [2, 4, 8]
+    assert all(t > 0 for _p, t in sweep.series())
+
+
+def test_sweep_default_counts_respect_machine():
+    sweep = sweep_benchmark(M, "Barrier", msg_bytes=0, max_cpus=16)
+    assert [p for p, _ in sweep.series()] == [2, 4, 8, 16]
+
+
+def test_run_suite_returns_all():
+    out = run_suite(M, 4, benchmarks=("Barrier", "Bcast", "Alltoall"),
+                    msg_bytes=8192)
+    assert set(out) == {"Barrier", "Bcast", "Alltoall"}
+
+
+def test_deterministic_measurements():
+    a = run_benchmark(M, "Allreduce", 8, MB).time_us
+    b = run_benchmark(M, "Allreduce", 8, MB).time_us
+    assert a == b
+
+
+def test_result_str_contains_key_fields():
+    res = run_benchmark(M, "Sendrecv", 4, 4096)
+    s = str(res)
+    assert "Sendrecv" in s and "P=4" in s

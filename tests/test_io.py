@@ -1,0 +1,153 @@
+"""Filesystem model and MPI-IO tests."""
+
+import pytest
+
+from repro import Cluster, get_machine
+from repro.core.errors import ConfigError, MPIError
+from repro.imb import run_benchmark
+from repro.imb.io_benchmarks import IO_BENCHMARKS
+from repro.io import (
+    DEFAULT_FILESYSTEM,
+    HLRS_FILESYSTEM,
+    FileSystemModel,
+    FileSystemSpec,
+    file_open,
+)
+from tests.conftest import make_test_machine
+
+M = make_test_machine(cpus_per_node=2)
+MB = 1024 * 1024
+
+
+# -- filesystem model -----------------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        FileSystemSpec(n_servers=0)
+    with pytest.raises(ConfigError):
+        FileSystemSpec(server_mbs=-1)
+    with pytest.raises(ConfigError):
+        FileSystemSpec(stripe_size=0)
+
+
+def test_hlrs_spec_matches_paper():
+    """16 file systems at 400-600 MB/s each (paper section 2.5)."""
+    assert HLRS_FILESYSTEM.n_servers == 16
+    assert 400 <= HLRS_FILESYSTEM.server_mbs <= 600
+    assert 6400 <= HLRS_FILESYSTEM.aggregate_mbs <= 9600
+
+
+def test_single_stream_capped_by_client():
+    fs = FileSystemModel(DEFAULT_FILESYSTEM, n_nodes=2)
+    end = fs.transfer(0, 0, 400 * MB, 0.0)
+    client_time = 400 * MB / (DEFAULT_FILESYSTEM.client_gbs * 1e9)
+    assert end == pytest.approx(client_time, rel=0.05)
+
+
+def test_aggregate_capped_by_servers():
+    spec = FileSystemSpec(n_servers=2, server_mbs=100.0, client_gbs=10.0)
+    fs = FileSystemModel(spec, n_nodes=8)
+    ends = [fs.transfer(n, n * 64 * MB, 64 * MB, 0.0) for n in range(8)]
+    total = 8 * 64 * MB
+    ideal = total / (spec.aggregate_mbs * 1e6)
+    assert max(ends) == pytest.approx(ideal, rel=0.1)
+
+
+def test_striping_spreads_over_servers():
+    spec = FileSystemSpec(n_servers=4, server_mbs=100.0, client_gbs=100.0,
+                          stripe_size=MB)
+    fs = FileSystemModel(spec, n_nodes=1)
+    fs.transfer(0, 0, 4 * MB, 0.0)
+    assert all(s.bytes_served == MB for s in fs.servers)
+
+
+# -- MPI-IO -----------------------------------------------------------------------
+
+def test_write_read_roundtrip_contents():
+    def prog(comm):
+        f = yield from file_open(comm, verify=True)
+        payload = bytes([comm.rank + 1]) * 16
+        yield from f.write_at(comm.rank * 16, data=payload)
+        yield from comm.barrier()
+        got = yield from f.read_at(0, 16 * comm.size)
+        yield from f.close()
+        return got
+
+    out = Cluster(M, 3).run(prog)
+    expect = b"\x01" * 16 + b"\x02" * 16 + b"\x03" * 16
+    assert out.results[0] == expect
+
+
+def test_collective_write_contents():
+    def prog(comm):
+        f = yield from file_open(comm, verify=True)
+        payload = bytes([comm.rank + 65]) * 4   # 'A', 'B', ...
+        yield from f.write_at_all(comm.rank * 4, data=payload)
+        got = yield from f.read_at_all(comm.rank * 4, 4)
+        yield from f.close()
+        return got
+
+    out = Cluster(M, 4).run(prog)
+    assert [r for r in out.results] == [b"AAAA", b"BBBB", b"CCCC", b"DDDD"]
+
+
+def test_io_on_closed_file_rejected():
+    def prog(comm):
+        f = yield from file_open(comm)
+        yield from f.close()
+        with pytest.raises(MPIError, match="closed"):
+            yield from f.write_at(0, nbytes=8)
+
+    Cluster(M, 2).run(prog)
+
+
+def test_negative_offset_rejected():
+    def prog(comm):
+        f = yield from file_open(comm)
+        with pytest.raises(MPIError):
+            yield from f.write_at(-1, nbytes=8)
+        yield from f.close()
+
+    Cluster(M, 2).run(prog)
+
+
+def test_open_close_cost_metadata_latency():
+    def prog(comm):
+        t0 = comm.now
+        f = yield from file_open(comm)
+        yield from f.close()
+        return comm.now - t0
+
+    t = Cluster(M, 2).run(prog).results[0]
+    assert t >= 2 * DEFAULT_FILESYSTEM.metadata_latency_us * 1e-6
+
+
+# -- IMB-IO benchmarks ---------------------------------------------------------------
+
+@pytest.mark.parametrize("name", IO_BENCHMARKS)
+def test_io_benchmarks_run(name):
+    res = run_benchmark(M, name, 4, MB)
+    assert res.time_us > 0
+    assert res.bandwidth_mbs > 0
+
+
+def test_single_writer_hits_client_cap():
+    res = run_benchmark(get_machine("sx8"), "S_Write_indv", 8, 16 * MB)
+    cap = HLRS_FILESYSTEM.client_gbs * 1000  # MB/s
+    assert res.bandwidth_mbs == pytest.approx(cap, rel=0.15)
+
+
+def test_parallel_write_aggregate_exceeds_single():
+    single = run_benchmark(M, "S_Write_indv", 8, 4 * MB)
+    parallel = run_benchmark(M, "P_Write_indv", 8, 4 * MB)
+    aggregate = parallel.bandwidth_mbs * 8
+    assert aggregate > 1.5 * single.bandwidth_mbs
+
+
+def test_parallel_write_saturates_at_server_total():
+    spec = DEFAULT_FILESYSTEM
+    res = run_benchmark(M, "P_Write_indv", 32, 4 * MB)
+    aggregate = res.bandwidth_mbs * 32
+    cap = min(spec.aggregate_mbs,
+              16 * spec.client_gbs * 1000)  # 16 nodes at 2 cpus/node
+    assert aggregate <= cap * 1.1

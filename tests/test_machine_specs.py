@@ -1,0 +1,176 @@
+"""Unit tests for machine specifications and the paper catalog."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.machine import (
+    ALL_MACHINES,
+    PAPER_FIVE,
+    MACHINES,
+    NodeSpec,
+    ProcessorSpec,
+    get_machine,
+)
+from tests.conftest import make_test_machine
+
+
+# -- spec validation -----------------------------------------------------------
+
+def test_processor_validation():
+    kw = dict(name="p", clock_ghz=1.0, peak_gflops=1.0, is_vector=False,
+              dgemm_eff=0.9, hpl_eff=0.8, fft_eff=0.1,
+              stream_copy_gbs=1.0, stream_triad_gbs=1.0,
+              random_update_gups=0.01)
+    ProcessorSpec(**kw)
+    with pytest.raises(ConfigError):
+        ProcessorSpec(**{**kw, "peak_gflops": 0.0})
+    with pytest.raises(ConfigError):
+        ProcessorSpec(**{**kw, "dgemm_eff": 1.5})
+    with pytest.raises(ConfigError):
+        ProcessorSpec(**{**kw, "stream_copy_gbs": -1})
+    with pytest.raises(ConfigError):
+        ProcessorSpec(**{**kw, "is_vector": True})  # needs scalar_gflops
+
+
+def test_node_validation():
+    kw = dict(cpus=2, memory_gb=4.0, shm_flow_gbs=1.0, shm_node_gbs=2.0,
+              shm_latency_us=0.5, memcpy_gbs=2.0)
+    NodeSpec(**kw)
+    with pytest.raises(ConfigError):
+        NodeSpec(**{**kw, "cpus": 0})
+    with pytest.raises(ConfigError):
+        NodeSpec(**{**kw, "shm_flow_gbs": 3.0})  # flow > aggregate
+    with pytest.raises(ConfigError):
+        NodeSpec(**{**kw, "stream_node_scale": 0.0})
+
+
+def test_machine_max_cpus_within_network():
+    with pytest.raises(ConfigError):
+        make_test_machine(max_cpus=10 ** 12, topology_kind="multistage")
+
+
+# -- placement -------------------------------------------------------------------
+
+def test_block_placement():
+    m = make_test_machine(cpus_per_node=4)
+    assert m.placement(10) == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+    assert m.n_nodes(10) == 3
+    assert m.n_nodes(8) == 2
+
+
+def test_placement_bounds():
+    m = make_test_machine(max_cpus=8)
+    with pytest.raises(ConfigError):
+        m.n_nodes(9)
+    with pytest.raises(ConfigError):
+        m.n_nodes(0)
+
+
+def test_cpu_counts_powers_of_two_plus_max():
+    m = make_test_machine(max_cpus=48)
+    assert m.cpu_counts(start=4) == [4, 8, 16, 32, 48]
+    assert m.cpu_counts(start=4, maximum=16) == [4, 8, 16]
+
+
+def test_peak_gflops():
+    m = make_test_machine()
+    assert m.peak_gflops(10) == pytest.approx(40.0)
+    assert m.peak_node_gflops == pytest.approx(8.0)
+
+
+# -- the paper catalog -----------------------------------------------------------
+
+def test_catalog_has_all_seven_configurations():
+    assert len(ALL_MACHINES) == 7
+    assert len(PAPER_FIVE) == 5
+    assert set(MACHINES) == {
+        "altix_nl4", "altix_nl3", "x1_msp", "x1_ssp",
+        "opteron", "xeon", "sx8",
+    }
+
+
+def test_get_machine_unknown():
+    with pytest.raises(ConfigError, match="unknown machine"):
+        get_machine("cray_t3e")
+
+
+@pytest.mark.parametrize("name", sorted(MACHINES))
+def test_every_machine_builds_a_fabric(name):
+    m = get_machine(name)
+    fab = m.build_fabric(min(8, m.max_cpus))
+    assert fab.n_nodes >= 1
+
+
+def test_paper_table2_peaks():
+    """Table 2's peak-per-node column."""
+    assert get_machine("altix_nl4").peak_node_gflops == pytest.approx(12.8)
+    assert get_machine("x1_msp").peak_node_gflops == pytest.approx(51.2)
+    assert get_machine("opteron").peak_node_gflops == pytest.approx(8.0)
+    assert get_machine("xeon").peak_node_gflops == pytest.approx(14.4)
+    assert get_machine("sx8").peak_node_gflops == pytest.approx(128.0)
+
+
+def test_paper_clock_rates():
+    clocks = {m.name: m.processor.clock_ghz for m in PAPER_FIVE}
+    assert clocks == {"altix_nl4": 1.6, "x1_msp": 0.8, "opteron": 2.0,
+                      "xeon": 3.6, "sx8": 2.0}
+
+
+def test_paper_cpus_per_node():
+    assert get_machine("sx8").node.cpus == 8
+    assert get_machine("x1_msp").node.cpus == 4
+    assert get_machine("x1_ssp").node.cpus == 16
+    assert get_machine("altix_nl4").node.cpus == 2
+
+
+def test_paper_system_sizes():
+    assert get_machine("sx8").max_cpus == 576
+    assert get_machine("altix_nl4").max_cpus == 2024
+    assert get_machine("altix_nl3").max_cpus == 440
+    assert get_machine("opteron").max_cpus == 126
+
+
+def test_paper_network_names():
+    nets = {m.name: m.network.name for m in PAPER_FIVE}
+    assert nets["sx8"] == "IXS"
+    assert nets["altix_nl4"] == "NUMALINK4"
+    assert "Myrinet" in nets["opteron"]
+    assert nets["xeon"] == "InfiniBand"
+
+
+def test_single_stream_anchors():
+    """MPI peak bandwidth anchors from paper section 2.4."""
+    xeon = get_machine("xeon").fabric_params().effective_point_bw
+    opteron = get_machine("opteron").fabric_params().effective_point_bw
+    assert xeon == pytest.approx(841e6, rel=0.02)     # 841 MB/s InfiniBand
+    assert opteron == pytest.approx(771e6, rel=0.02)  # 771 MB/s Myrinet
+
+
+def test_vector_machines_flagged():
+    assert get_machine("sx8").processor.is_vector
+    assert get_machine("x1_msp").processor.is_vector
+    assert not get_machine("xeon").processor.is_vector
+
+
+def test_altix_table1_metadata():
+    t1 = get_machine("altix_nl4").extra["table1"]
+    assert t1["CPUs"] == 512
+    assert t1["C-Bricks"] == 64
+    assert t1["L3-cache (MB)"] == 9
+
+
+def test_sx8_hpl_anchor():
+    """576 CPUs x 16 GF x 94.5% ~ the paper's 8.729 TF/s G-HPL."""
+    m = get_machine("sx8")
+    peak_tf = m.peak_gflops(576) / 1e3
+    assert peak_tf * m.processor.hpl_eff == pytest.approx(8.729, rel=0.01)
+
+
+def test_fabric_params_unit_conversion():
+    m = make_test_machine(link_gbs=2.0, base_latency_us=3.0)
+    p = m.fabric_params()
+    assert p.link_bw == pytest.approx(2e9)
+    assert p.base_latency == pytest.approx(3e-6)
+    assert not math.isnan(p.shm_bw)

@@ -1,0 +1,152 @@
+"""One-sided communication (RMA) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import MPIError
+from repro.mpi.onesided import win_create
+from tests.conftest import make_test_machine, run_ranks
+
+M = make_test_machine(cpus_per_node=2, max_cpus=64)
+
+
+def test_put_lands_after_fence():
+    def prog(comm):
+        win = yield from win_create(comm, 8)
+        if comm.rank == 0:
+            win.put(1, np.full(8, 42.0))
+        yield from win.fence()
+        return win.buffer.copy()
+
+    out = run_ranks(M, 2, prog)
+    assert np.all(out.results[1] == 42.0)
+    assert np.all(out.results[0] == 0.0)
+
+
+def test_put_with_offset():
+    def prog(comm):
+        win = yield from win_create(comm, 8)
+        if comm.rank == 0:
+            win.put(1, np.array([7.0, 8.0]), offset=3)
+        yield from win.fence()
+        return win.buffer.copy()
+
+    out = run_ranks(M, 2, prog)
+    assert list(out.results[1]) == [0, 0, 0, 7.0, 8.0, 0, 0, 0]
+
+
+def test_get_reads_remote_window():
+    def prog(comm):
+        buf = np.arange(8, dtype=np.float64) * (comm.rank + 1)
+        win = yield from win_create(comm, 8, buffer=buf)
+        yield from win.fence()
+        if comm.rank == 0:
+            req = win.get(2, 4, offset=2)
+            data = yield req
+            yield from win.fence()
+            return data
+        yield from win.fence()
+
+    out = run_ranks(M, 3, prog)
+    assert np.array_equal(out.results[0], np.array([6.0, 9.0, 12.0, 15.0]))
+
+
+def test_all_to_one_puts():
+    p = 6
+
+    def prog(comm):
+        win = yield from win_create(comm, p)
+        if comm.rank != 0:
+            win.put(0, np.array([float(comm.rank)]), offset=comm.rank)
+        yield from win.fence()
+        return win.buffer.copy()
+
+    out = run_ranks(M, p, prog)
+    assert list(out.results[0]) == [0.0] + [float(r) for r in range(1, p)]
+
+
+def test_fence_synchronises_epochs():
+    """A put issued in epoch 1 must not be visible before the fence,
+    and must be visible after, even for a late-arriving target."""
+    def prog(comm):
+        win = yield from win_create(comm, 1)
+        if comm.rank == 0:
+            win.put(1, np.array([5.0]))
+        before = win.buffer[0]
+        yield from win.fence()
+        after = win.buffer[0]
+        return before, after
+
+    out = run_ranks(M, 2, prog)
+    # rank 1 enters the fence immediately; visibility only after it
+    assert out.results[1] == (0.0, 5.0)
+
+
+def test_put_bounds_checked():
+    def prog(comm):
+        win = yield from win_create(comm, 4)
+        with pytest.raises(MPIError):
+            win.put(0, np.zeros(8))
+        with pytest.raises(MPIError):
+            win.put(5, np.zeros(1))
+        with pytest.raises(MPIError):
+            win.get(0, 2, offset=3)
+        yield from win.fence()
+
+    run_ranks(M, 2, prog)
+
+
+def test_put_does_not_charge_target_cpu():
+    """RDMA: the target's CPU timeline is untouched by an incoming put."""
+    nbytes_elems = 1 << 16
+
+    def prog(comm):
+        win = yield from win_create(comm, nbytes_elems)
+        if comm.rank == 0:
+            win.put(1, np.ones(nbytes_elems))
+        yield from win.fence()
+        return comm.cluster.transport.cpu_free_at(comm.world_rank)
+
+    out = run_ranks(M, 2, prog)
+    # target CPU time = barriers' small-message overheads only, far less
+    # than the 512 KiB transfer's wire time
+    transfer_time = 8 * nbytes_elems / 1e9
+    assert out.results[1] < transfer_time
+
+
+def test_origin_buffer_reusable_after_local_event():
+    def prog(comm):
+        win = yield from win_create(comm, 4)
+        if comm.rank == 0:
+            buf = np.full(4, 3.0)
+            req = win.put(1, buf)
+            yield req
+            buf[:] = -1.0  # mutate after local completion
+        yield from win.fence()
+        return win.buffer.copy()
+
+    out = run_ranks(M, 2, prog)
+    assert np.all(out.results[1] == 3.0)
+
+
+def test_window_with_mismatched_buffer_rejected():
+    def prog(comm):
+        with pytest.raises(MPIError):
+            yield from win_create(comm, 8, buffer=np.zeros(4))
+
+    run_ranks(M, 2, prog)
+
+
+def test_two_windows_are_independent():
+    def prog(comm):
+        w1 = yield from win_create(comm, 2)
+        w2 = yield from win_create(comm, 2)
+        if comm.rank == 0:
+            w1.put(1, np.array([1.0]), offset=0)
+            w2.put(1, np.array([2.0]), offset=0)
+        yield from w1.fence()
+        yield from w2.fence()
+        return w1.buffer[0], w2.buffer[0]
+
+    out = run_ranks(M, 2, prog)
+    assert out.results[1] == (1.0, 2.0)

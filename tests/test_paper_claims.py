@@ -1,0 +1,126 @@
+"""Cheap versions of the paper's headline claims (moderate CPU counts).
+
+The benchmarks/ directory re-asserts these at the paper's full scales;
+these tests keep the claims from regressing during development.
+"""
+
+import pytest
+
+from repro import get_machine
+from repro.imb import run_benchmark
+
+MB = 1024 * 1024
+P = 8  # every machine (even X1 MSP at 12) can field this
+
+
+def times(bench, p=P, msg=MB):
+    out = {}
+    for name in ("sx8", "x1_msp", "altix_nl4", "xeon", "opteron"):
+        m = get_machine(name)
+        if p <= m.max_cpus:
+            out[name] = run_benchmark(m, bench, p, msg).time_us
+    return out
+
+
+def test_fig12_alltoall_full_ordering():
+    """NEC SX-8 > Cray X1 > Altix BX2 > Xeon > Opteron (conclusions §5.2)."""
+    t = times("Alltoall")
+    assert t["sx8"] < t["x1_msp"] < t["altix_nl4"] < t["xeon"] < t["opteron"]
+
+
+def test_fig7_allreduce_vector_systems_win():
+    t = times("Allreduce")
+    assert t["sx8"] < min(t["altix_nl4"], t["xeon"], t["opteron"])
+    assert t["x1_msp"] < min(t["altix_nl4"], t["xeon"], t["opteron"])
+    assert t["sx8"] < t["x1_msp"]  # NEC superior to X1 in both modes
+    assert max(t, key=t.get) == "opteron"  # worst: Myrinet cluster
+
+
+def test_fig8_reduce_order_of_magnitude_clustering():
+    """Vector systems an order of magnitude better than scalar (Fig 8)."""
+    t = times("Reduce")
+    fastest_scalar = min(t["altix_nl4"], t["xeon"], t["opteron"])
+    # the SX-8 sits a full order of magnitude ahead of every scalar
+    assert fastest_scalar > 10 * t["sx8"]
+    # the X1 clusters with the vector side (clearly ahead of the scalars)
+    assert fastest_scalar > 2.5 * t["x1_msp"]
+
+
+def test_fig10_allgather_nec_dominates():
+    t = times("Allgather")
+    assert t["sx8"] * 5 < min(v for k, v in t.items() if k != "sx8")
+
+
+def test_fig11_allgatherv_tracks_allgather():
+    for name in ("sx8", "xeon"):
+        m = get_machine(name)
+        a = run_benchmark(m, "Allgather", P, MB).time_us
+        v = run_benchmark(m, "Allgatherv", P, MB).time_us
+        assert v == pytest.approx(a, rel=0.1)
+
+
+def test_fig6_barrier_altix_fastest_small_p():
+    """'For less than 16 processors, SGI Altix BX2 is the fastest.'"""
+    t = times("Barrier", p=8, msg=0)
+    assert min(t, key=t.get) == "altix_nl4"
+
+
+def test_fig13_sendrecv_nec_best_then_altix():
+    bw = {}
+    for name in ("sx8", "altix_nl4", "xeon", "opteron"):
+        m = get_machine(name)
+        bw[name] = run_benchmark(m, "Sendrecv", 16, MB).bandwidth_mbs
+    assert bw["sx8"] > bw["altix_nl4"] > max(bw["xeon"], bw["opteron"])
+    # paper: Xeon and Opteron "almost the same" (same small-cluster tier)
+    assert 0.2 < bw["xeon"] / bw["opteron"] < 5.0
+
+
+def test_fig13_sx8_intranode_sendrecv_anchor():
+    """47.4 GB/s for a 2-CPU Sendrecv on the SX-8 (paper text)."""
+    bw = run_benchmark(get_machine("sx8"), "Sendrecv", 2, MB).bandwidth_mbs
+    assert bw / 1024 == pytest.approx(47.4, rel=0.15)
+
+
+def test_fig13_x1_ssp_pair_anchor():
+    """7.6 GB/s for a 2-SSP Sendrecv on the Cray X1 (paper text)."""
+    bw = run_benchmark(get_machine("x1_ssp"), "Sendrecv", 2, MB).bandwidth_mbs
+    assert bw / 1024 == pytest.approx(7.6, rel=0.15)
+
+
+def test_fig14_exchange_opteron_lowest():
+    t = times("Exchange")
+    assert max(t, key=t.get) == "opteron"
+
+
+def test_fig14_exchange_bandwidth_sane():
+    """Exchange moves twice Sendrecv's volume; reported bandwidth stays
+    within 2x of Sendrecv's on every machine.  (The paper's surprising
+    Xeon-second-place in Fig 14 is NOT reproduced by this model — see
+    EXPERIMENTS.md.)"""
+    for name in ("sx8", "altix_nl4", "xeon", "opteron"):
+        m = get_machine(name)
+        sr = run_benchmark(m, "Sendrecv", 16, MB).bandwidth_mbs
+        ex = run_benchmark(m, "Exchange", 16, MB).bandwidth_mbs
+        assert 0.4 < ex / sr < 2.5, name
+
+
+def test_fig15_bcast_ordering():
+    """'Best systems with respect to broadcast time in decreasing order:
+    NEC SX-8, SGI Altix BX2, Cray X1, Xeon Cluster, Cray Opteron.'"""
+    t = times("Bcast")
+    assert t["sx8"] < t["altix_nl4"] < t["xeon"] < t["opteron"]
+    assert t["x1_msp"] < t["xeon"]
+
+
+def test_pingpong_latency_anchors():
+    """Zero-byte inter-node latencies: IB 6.8 us, Myrinet 6.7 us (§2.4)."""
+    for name, target in (("xeon", 6.8), ("opteron", 6.7)):
+        m = get_machine(name)
+        # use ranks 0 and 2 (different nodes) via a 4-rank Sendrecv probe;
+        # PingPong itself runs on ranks 0/1 which share a node, so check
+        # the one-way fabric estimate instead.
+        p = m.fabric_params()
+        topo = m.network.build_topology(2)
+        one_way = (p.send_overhead + p.latency(topo.hops(0, 1))
+                   + p.recv_overhead) * 1e6
+        assert one_way == pytest.approx(target, rel=0.25)

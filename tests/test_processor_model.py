@@ -1,0 +1,109 @@
+"""Unit tests for the processor roofline model."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.machine import ProcessorSpec
+from repro.machine.processor import KERNELS
+
+
+def scalar_proc(**kw) -> ProcessorSpec:
+    base = dict(
+        name="scalar",
+        clock_ghz=2.0,
+        peak_gflops=4.0,
+        is_vector=False,
+        dgemm_eff=0.9,
+        hpl_eff=0.5,
+        fft_eff=0.1,
+        stream_copy_gbs=2.0,
+        stream_triad_gbs=1.5,
+        random_update_gups=0.01,
+    )
+    base.update(kw)
+    return ProcessorSpec(**base)
+
+
+def vector_proc(**kw) -> ProcessorSpec:
+    return scalar_proc(
+        name="vector",
+        peak_gflops=16.0,
+        is_vector=True,
+        scalar_gflops=2.0,
+        stream_copy_gbs=40.0,
+        stream_triad_gbs=40.0,
+        **kw,
+    )
+
+
+def test_dgemm_rate():
+    p = scalar_proc()
+    # 2e9 flops at 3.6 GF/s
+    assert p.compute_time(2e9, kernel="dgemm") == pytest.approx(2e9 / 3.6e9)
+
+
+def test_hpl_rate_uses_hpl_eff():
+    p = scalar_proc()
+    assert p.compute_time(2e9, kernel="hpl") == pytest.approx(1.0)  # 2 GF/s
+
+
+def test_stream_kernels_bandwidth_bound():
+    p = scalar_proc()
+    assert p.compute_time(0, 2e9, "stream_copy") == pytest.approx(1.0)
+    assert p.compute_time(0, 1.5e9, "stream_triad") == pytest.approx(1.0)
+
+
+def test_roofline_takes_max():
+    p = scalar_proc()
+    # flops-bound case
+    t1 = p.compute_time(3.6e9, 1.0, "dgemm")
+    assert t1 == pytest.approx(1.0)
+    # bandwidth-bound case
+    t2 = p.compute_time(1.0, 1.5e9, "reduction")
+    assert t2 == pytest.approx(1.0)
+
+
+def test_random_access_rate():
+    p = scalar_proc()
+    # 0.01 GUP/s at 8 B/update = 80 MB/s effective
+    assert p.compute_time(0, 8e7, "random_access") == pytest.approx(1.0)
+
+
+def test_fft_penalised_on_vector_cpu():
+    """The paper: HPCC's FFT 'does not completely vectorize'."""
+    v, s = vector_proc(), scalar_proc(peak_gflops=16.0)
+    assert v.kernel_flops("fft") < s.kernel_flops("fft")
+
+
+def test_vector_scalar_unit_for_nonvector_code():
+    v = vector_proc()
+    assert v.kernel_flops("random_access") == pytest.approx(2.0e9)
+    assert v.scalar_flops == pytest.approx(2.0e9)
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(ConfigError):
+        scalar_proc().compute_time(1.0, kernel="quantum")
+
+
+def test_negative_work_rejected():
+    with pytest.raises(ConfigError):
+        scalar_proc().compute_time(-1.0)
+    with pytest.raises(ConfigError):
+        scalar_proc().compute_time(0.0, -5.0)
+
+
+def test_zero_work_is_free():
+    assert scalar_proc().compute_time(0.0, 0.0) == 0.0
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_all_kernels_have_positive_rates(kernel):
+    for p in (scalar_proc(), vector_proc()):
+        assert p.kernel_flops(kernel) > 0
+        assert p.kernel_mem_bw(kernel) > 0
+
+
+def test_generic_kernel_slower_than_dgemm():
+    p = scalar_proc()
+    assert p.kernel_flops("generic") < p.kernel_flops("dgemm")

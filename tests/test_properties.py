@@ -1,0 +1,324 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import BXOR, SUM
+from repro.mpi.collectives import balanced_split, split_payload
+from repro.network import CrossbarSwitch, FatTree, Hypercube
+from repro.network.resources import BandwidthResource
+from tests.conftest import make_test_machine, run_ranks
+
+M = make_test_machine(cpus_per_node=2, max_cpus=64)
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# -- balanced_split / split_payload ------------------------------------------------
+
+@given(st.integers(0, 10 ** 9), st.integers(1, 512))
+def test_balanced_split_partitions_exactly(nbytes, parts):
+    sizes = balanced_split(nbytes, parts)
+    assert len(sizes) == parts
+    assert sum(sizes) == nbytes
+    assert max(sizes) - min(sizes) <= 1
+    assert sorted(sizes, reverse=True) == sizes  # larger blocks first
+
+
+@given(st.integers(0, 200), st.integers(1, 32))
+def test_split_payload_concat_roundtrip(n, parts):
+    data = np.arange(n, dtype=np.float64)
+    chunks = split_payload(data, parts)
+    assert len(chunks) == parts
+    assert np.array_equal(np.concatenate(chunks) if chunks else data, data)
+
+
+# -- bandwidth resource ------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.floats(1, 1e6), st.floats(0, 10)), min_size=1,
+                max_size=20))
+def test_resource_work_conservation(jobs):
+    """Total busy time equals total service demand; FIFO never overlaps."""
+    r = BandwidthResource("r", 1000.0)
+    total = 0.0
+    prev_end = 0.0
+    for nbytes, earliest in jobs:
+        s, e = r.reserve(nbytes, earliest)
+        assert s >= prev_end - 1e-12
+        assert abs((e - s) - nbytes / 1000.0) < 1e-9
+        total += nbytes / 1000.0
+        prev_end = e
+    assert abs(r.busy_time - total) < 1e-6
+
+
+# -- topology invariants -------------------------------------------------------------
+
+@given(st.integers(2, 64))
+def test_hypercube_hops_symmetric_and_triangle(n):
+    t = Hypercube(n)
+    for a in range(0, n, max(1, n // 7)):
+        for b in range(0, n, max(1, n // 5)):
+            assert t.hops(a, b) == t.hops(b, a)
+            assert (t.hops(a, b) == 0) == (a == b)
+
+
+@given(st.integers(2, 60), st.integers(2, 6), st.integers(2, 6))
+def test_fattree_analytic_hops_matches_bruteforce(n, g1, g2):
+    cap = g1 * g2 * 4
+    if n > cap:
+        n = cap
+    t = FatTree(n, group_sizes=(g1, g2, 4))
+    assert abs(t.average_hops_analytic() - t.average_hops()) < 1e-9
+
+
+@given(st.integers(1, 64))
+def test_crossbar_capacity_scales_linearly(n):
+    t = CrossbarSwitch(n)
+    assert t.level_capacity_links(1) == 2.0 * n
+
+
+# -- collective correctness under random inputs --------------------------------------
+
+@SLOW
+@given(
+    p=st.integers(2, 9),
+    n=st.integers(1, 40),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_allreduce_equals_numpy_sum(p, n, seed):
+    rng = np.random.default_rng(seed)
+    bufs = [rng.standard_normal(n) for _ in range(p)]
+    ref = np.sum(bufs, axis=0)
+
+    def prog(comm):
+        out = yield from comm.allreduce(data=bufs[comm.rank], op=SUM)
+        return out
+
+    out = run_ranks(M, p, prog)
+    for r in range(p):
+        assert np.allclose(out.results[r], ref)
+
+
+@SLOW
+@given(p=st.integers(2, 9), seed=st.integers(0, 2 ** 16))
+def test_allreduce_bxor_self_inverse(p, seed):
+    """Applying the same XOR allreduce twice over identical inputs gives
+    zero when p is even, the buffer itself when odd."""
+    rng = np.random.default_rng(seed)
+    buf = rng.integers(0, 2 ** 60, size=8, dtype=np.uint64)
+
+    def prog(comm):
+        out = yield from comm.allreduce(data=buf, op=BXOR)
+        return out
+
+    out = run_ranks(M, p, prog)
+    expected = np.zeros_like(buf) if p % 2 == 0 else buf
+    assert np.array_equal(out.results[0], expected)
+
+
+@SLOW
+@given(p=st.integers(2, 8), seed=st.integers(0, 2 ** 16))
+def test_alltoall_is_transpose(p, seed):
+    """alltoall output[j][i] == input[i][j] (matrix transpose semantics)."""
+    rng = np.random.default_rng(seed)
+    mat = rng.standard_normal((p, p))
+
+    def prog(comm):
+        datas = [np.array([mat[comm.rank, d]]) for d in range(p)]
+        out = yield from comm.alltoall(datas=datas)
+        return [float(x[0]) for x in out]
+
+    out = run_ranks(M, p, prog)
+    got = np.array([out.results[r] for r in range(p)])
+    assert np.allclose(got, mat.T)
+
+
+@SLOW
+@given(p=st.integers(2, 9), root=st.integers(0, 8), seed=st.integers(0, 99))
+def test_bcast_any_root(p, root, seed):
+    root %= p
+    rng = np.random.default_rng(seed)
+    ref = rng.standard_normal(6)
+
+    def prog(comm):
+        data = ref if comm.rank == root else None
+        out = yield from comm.bcast(data=data, nbytes=48, root=root)
+        return out
+
+    out = run_ranks(M, p, prog)
+    for r in range(p):
+        assert np.array_equal(out.results[r], ref)
+
+
+@SLOW
+@given(p=st.integers(2, 8), n_mult=st.integers(1, 5),
+       seed=st.integers(0, 99))
+def test_reduce_scatter_blocks_match_reduce(p, n_mult, seed):
+    rng = np.random.default_rng(seed)
+    n = p * n_mult
+    bufs = [rng.standard_normal(n) for _ in range(p)]
+    full = np.sum(bufs, axis=0)
+    blocks = np.array_split(full, p)
+
+    def prog(comm):
+        out = yield from comm.reduce_scatter(data=bufs[comm.rank], op=SUM)
+        return out
+
+    out = run_ranks(M, p, prog)
+    for r in range(p):
+        assert np.allclose(out.results[r], blocks[r])
+
+
+# -- simulation determinism ------------------------------------------------------------
+
+@SLOW
+@given(p=st.integers(2, 8), nbytes=st.integers(1, 10 ** 6))
+def test_virtual_time_deterministic(p, nbytes):
+    def prog(comm):
+        yield from comm.allreduce(nbytes=nbytes)
+        yield from comm.barrier()
+        res = yield from comm.allgather(nbytes=nbytes)
+        return comm.now
+
+    t1 = run_ranks(M, p, prog).elapsed
+    t2 = run_ranks(M, p, prog).elapsed
+    assert t1 == t2
+
+
+@SLOW
+@given(nbytes=st.integers(1, 4 * 1024 * 1024))
+def test_message_time_monotone_in_size(nbytes):
+    """Bigger messages never arrive earlier."""
+    def prog(comm, nb):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=nb)
+        else:
+            yield from comm.recv(0)
+            return comm.now
+
+    t_small = run_ranks(M, 2, prog, nbytes).results[1]
+    t_big = run_ranks(M, 2, prog, nbytes + 4096).results[1]
+    assert t_big >= t_small
+
+
+@SLOW
+@given(p=st.integers(2, 9), seed=st.integers(0, 999))
+def test_scan_prefix_property(p, seed):
+    """scan[r] - scan[r-1] == input[r] for summed scalars."""
+    rng = np.random.default_rng(seed)
+    vals = rng.standard_normal(p)
+
+    def prog(comm):
+        out = yield from comm.scan(data=np.array([vals[comm.rank]]), op=SUM)
+        return float(out[0])
+
+    out = run_ranks(M, p, prog)
+    prefix = np.cumsum(vals)
+    assert np.allclose(list(out.results), prefix)
+
+
+@SLOW
+@given(p=st.integers(2, 8), seed=st.integers(0, 999))
+def test_gatherv_roundtrip_property(p, seed):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 6, size=p)
+    counts = [int(8 * n) for n in lengths]
+
+    def prog(comm):
+        data = np.full(int(lengths[comm.rank]), float(comm.rank))
+        gathered = yield from comm.gatherv(data=data, counts=counts, root=0)
+        back = yield from comm.scatterv(datas=gathered, counts=counts,
+                                        root=0)
+        return back
+
+    out = run_ranks(M, p, prog)
+    for r in range(p):
+        assert np.array_equal(out.results[r],
+                              np.full(int(lengths[r]), float(r)))
+
+
+@SLOW
+@given(p=st.integers(2, 8), factor=st.floats(1.0, 16.0))
+def test_straggler_never_speeds_up_collectives(p, factor):
+    """Monotonicity: degrading a node can only increase collective time."""
+    from repro.machine.faults import slow_node
+
+    def driver(comm):
+        yield from comm.barrier()
+        t0 = comm.now
+        yield from comm.allreduce(nbytes=65536)
+        return comm.now - t0
+
+    from repro.mpi.cluster import Cluster
+    clean = max(Cluster(M, p).run(driver).results)
+    hurt = max(Cluster(M, p).run(
+        driver, fabric_setup=lambda f: slow_node(f, 0, factor)).results)
+    assert hurt >= clean - 1e-12
+
+
+@SLOW
+@given(
+    p=st.integers(1, 6),
+    sizes=st.lists(st.integers(1, 64), min_size=1, max_size=6),
+    seed=st.integers(0, 999),
+)
+def test_file_writes_reassemble(p, sizes, seed):
+    """Arbitrary non-overlapping writes reassemble exactly on read."""
+    from repro.io import file_open
+    from repro.mpi.cluster import Cluster
+
+    rng = np.random.default_rng(seed)
+    # one region per rank per size entry, laid out back to back
+    plan = []
+    offset = 0
+    for i, size in enumerate(sizes):
+        owner = int(rng.integers(0, p))
+        payload = bytes([((i + 1) * 37) % 256]) * size
+        plan.append((owner, offset, payload))
+        offset += size
+
+    def prog(comm):
+        f = yield from file_open(comm, verify=True)
+        for owner, off, payload in plan:
+            if comm.rank == owner:
+                yield from f.write_at(off, data=payload)
+        yield from comm.barrier()
+        got = yield from f.read_at(0, offset)
+        yield from f.close()
+        return got
+
+    out = Cluster(M, p).run(prog)
+    expected = b"".join(payload for (_o, _off, payload) in plan)
+    assert out.results[0] == expected
+
+
+@SLOW
+@given(p=st.integers(2, 8), nbytes=st.integers(1, 1 << 20),
+       seed=st.integers(0, 99))
+def test_put_get_roundtrip_property(p, nbytes, seed):
+    """RMA put then remote get returns exactly what was put."""
+    from repro.mpi.onesided import win_create
+
+    rng = np.random.default_rng(seed)
+    n = max(1, nbytes // 8)
+    data = rng.standard_normal(min(n, 64))
+
+    def prog(comm):
+        win = yield from win_create(comm, len(data))
+        if comm.rank == 0:
+            win.put(1, data)
+        yield from win.fence()
+        if comm.rank == 2 % comm.size:
+            req = win.get(1, len(data))
+            got = yield req
+            yield from win.fence()
+            return got
+        yield from win.fence()
+
+    out = run_ranks(M, p, prog)
+    reader = 2 % p
+    assert np.array_equal(out.results[reader], data)

@@ -1,0 +1,86 @@
+"""Unit tests for bandwidth resources and joint reservation."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.network.resources import BandwidthResource, reserve_joint
+
+
+def test_service_time():
+    r = BandwidthResource("r", 100.0)
+    assert r.service_time(50.0) == pytest.approx(0.5)
+
+
+def test_infinite_bandwidth_is_free():
+    r = BandwidthResource("r", math.inf)
+    start, end = r.reserve(1e9, 1.0)
+    assert (start, end) == (1.0, 1.0)
+
+
+def test_fifo_serialisation():
+    r = BandwidthResource("r", 10.0)
+    s1, e1 = r.reserve(10.0, 0.0)
+    s2, e2 = r.reserve(10.0, 0.0)
+    assert (s1, e1) == (0.0, 1.0)
+    assert (s2, e2) == (1.0, 2.0)
+
+
+def test_reserve_after_idle_gap():
+    r = BandwidthResource("r", 10.0)
+    r.reserve(10.0, 0.0)   # busy until 1.0
+    s, e = r.reserve(10.0, 5.0)
+    assert (s, e) == (5.0, 6.0)
+
+
+def test_utilisation_accounting():
+    r = BandwidthResource("r", 10.0)
+    r.reserve(10.0, 0.0)
+    r.reserve(20.0, 0.0)
+    assert r.busy_time == pytest.approx(3.0)
+    assert r.bytes_served == pytest.approx(30.0)
+
+
+def test_reset_clears_state():
+    r = BandwidthResource("r", 10.0)
+    r.reserve(10.0, 0.0)
+    r.reset()
+    assert r.next_free == 0.0
+    assert r.busy_time == 0.0
+    assert r.bytes_served == 0.0
+
+
+def test_nonpositive_bandwidth_rejected():
+    with pytest.raises(ConfigError):
+        BandwidthResource("bad", 0.0)
+    with pytest.raises(ConfigError):
+        BandwidthResource("bad", -1.0)
+
+
+def test_reserve_joint_completion_is_slowest():
+    fast = BandwidthResource("fast", 100.0)
+    slow = BandwidthResource("slow", 10.0)
+    start, end = reserve_joint([fast, slow], 10.0, 0.0)
+    assert start == 0.0
+    assert end == pytest.approx(1.0)
+
+
+def test_reserve_joint_independent_queues():
+    """A busy resource must not idle the others (no convoy)."""
+    a = BandwidthResource("a", 10.0)
+    b = BandwidthResource("b", 10.0)
+    a.reserve(100.0, 0.0)  # a busy until 10
+    start, end = reserve_joint([a, b], 10.0, 0.0)
+    # b served 0..1 even though a only frees at 10
+    assert b.next_free == pytest.approx(1.0)
+    assert end == pytest.approx(11.0)
+    # aggregate throughput on b unaffected by a's queue
+    assert b.busy_time == pytest.approx(1.0)
+
+
+def test_reserve_joint_aggregate_fair_share():
+    """n messages through one resource take n * service total."""
+    r = BandwidthResource("r", 10.0)
+    ends = [reserve_joint([r], 10.0, 0.0)[1] for _ in range(5)]
+    assert ends[-1] == pytest.approx(5.0)

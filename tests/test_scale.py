@@ -1,0 +1,58 @@
+"""Moderate-scale smoke tests: the engine must handle thousands of ranks."""
+
+import pytest
+
+from repro import Cluster, get_machine
+from repro.imb import run_benchmark
+from tests.conftest import make_test_machine
+
+
+def test_thousand_rank_barrier():
+    m = make_test_machine(max_cpus=1024)
+
+    def prog(comm):
+        yield from comm.barrier()
+        return comm.now
+
+    res = Cluster(m, 1024).run(prog)
+    # everyone leaves the barrier at a single, positive instant
+    assert len(set(res.results)) <= 3
+    assert res.elapsed > 0
+
+
+def test_altix_full_machine_allreduce():
+    """2024 ranks on the four-box Altix — the paper's largest run."""
+    m = get_machine("altix_nl4")
+    res = run_benchmark(m, "Allreduce", 2024, 8 * 1024)
+    assert res.time_us > 0
+
+
+def test_sx8_full_machine_bcast():
+    m = get_machine("sx8")
+    res = run_benchmark(m, "Bcast", 576, 64 * 1024)
+    assert res.time_us > 0
+
+
+def test_large_run_deterministic():
+    m = make_test_machine(max_cpus=512)
+
+    def prog(comm):
+        yield from comm.allreduce(nbytes=4096)
+        yield from comm.bcast(nbytes=65536, root=3)
+        return comm.now
+
+    a = Cluster(m, 512).run(prog).elapsed
+    b = Cluster(m, 512).run(prog).elapsed
+    assert a == b
+
+
+def test_many_sequential_runs_do_not_leak_state():
+    m = make_test_machine()
+    cluster = Cluster(m, 8)
+
+    def prog(comm):
+        yield from comm.barrier()
+        return comm.now
+
+    times = [cluster.run(prog).elapsed for _ in range(5)]
+    assert len(set(times)) == 1  # identical fresh runs every time

@@ -1,0 +1,111 @@
+"""Synchronous send and probe semantics."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG
+from tests.conftest import make_test_machine, run_ranks
+
+M = make_test_machine()
+
+
+def test_ssend_blocks_until_recv_even_when_small():
+    """A 64-byte ssend must synchronise; a plain send would not."""
+    def prog(comm, use_ssend):
+        if comm.rank == 0:
+            if use_ssend:
+                yield from comm.ssend(1, nbytes=64)
+            else:
+                yield from comm.send(1, nbytes=64)
+            return comm.now
+        yield 1.0  # receive posted late
+        yield from comm.recv(0)
+
+    t_ssend = run_ranks(M, 2, prog, True).results[0]
+    t_send = run_ranks(M, 2, prog, False).results[0]
+    assert t_ssend > 1.0
+    assert t_send < 0.1
+
+
+def test_ssend_delivers_payload():
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.ssend(1, data=123.0, nbytes=8, tag=4)
+        else:
+            res = yield from comm.recv(0, tag=4)
+            return res.data
+
+    assert run_ranks(M, 2, prog).results[1] == 123.0
+
+
+def test_iprobe_reports_envelope_without_consuming():
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=256, data="x", tag=9)
+        else:
+            yield 0.01  # envelope has long arrived
+            first = comm.iprobe(0, 9)
+            second = comm.iprobe(0, 9)     # still there: non-consuming
+            res = yield from comm.recv(0, tag=9)
+            after = comm.iprobe(0, 9)      # consumed now
+            return first, second, res.data, after
+
+    first, second, data, after = run_ranks(M, 2, prog).results[1]
+    assert first == (0, 9, 256)
+    assert second == first
+    assert data == "x"
+    assert after is None
+
+
+def test_iprobe_none_when_nothing_queued():
+    def prog(comm):
+        yield from comm.barrier()
+        return comm.iprobe(ANY_SOURCE, ANY_TAG)
+
+    assert run_ranks(M, 2, prog).results[0] is None
+
+
+def test_iprobe_sees_rendezvous_envelope():
+    """An RTS counts as a probe-able envelope even before any recv."""
+    def prog(comm):
+        if comm.rank == 0:
+            req = comm.isend(1, nbytes=4 * 1024 * 1024, tag=2)
+            yield from comm.recv(1, tag=99)   # wait for the probe report
+            yield req
+        else:
+            yield 0.01
+            hit = comm.iprobe(0, 2)
+            yield from comm.send(0, nbytes=8, tag=99)
+            yield from comm.recv(0, tag=2)
+            return hit
+
+    hit = run_ranks(M, 2, prog).results[1]
+    assert hit == (0, 2, 4 * 1024 * 1024)
+
+
+def test_blocking_probe_waits_for_message():
+    def prog(comm):
+        if comm.rank == 0:
+            yield 0.5
+            yield from comm.send(1, nbytes=64, tag=3)
+        else:
+            hit = yield from comm.probe(0, tag=3, poll_interval=1e-3)
+            t = comm.now
+            yield from comm.recv(0, tag=3)
+            return hit, t
+
+    hit, t = run_ranks(M, 2, prog).results[1]
+    assert hit[2] == 64
+    assert t >= 0.5
+
+
+def test_probe_ordering_oldest_first():
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=10, tag=1)
+            yield from comm.send(1, nbytes=20, tag=1)
+        else:
+            yield 0.01
+            hit = comm.iprobe(0, 1)
+            return hit
+
+    assert run_ranks(M, 2, prog).results[1] == (0, 1, 10)

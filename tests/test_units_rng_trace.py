@@ -1,0 +1,134 @@
+"""Unit tests for the formatting helpers, RNG utilities and tracer."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.core.rng import (
+    DEFAULT_SEED,
+    make_rng,
+    random_derangement_ring,
+    spawn_rngs,
+)
+from repro.core.trace import NULL_TRACER, ComputeRecord, MessageRecord, Tracer
+
+
+# -- units -------------------------------------------------------------------
+
+def test_time_constants():
+    assert units.US == 1e-6
+    assert units.seconds_to_us(2e-6) == pytest.approx(2.0)
+    assert units.us_to_seconds(5.0) == pytest.approx(5e-6)
+
+
+def test_fmt_time_adaptive():
+    assert units.fmt_time(0) == "0 s"
+    assert "ns" in units.fmt_time(5e-9)
+    assert "us" in units.fmt_time(3.2e-6)
+    assert "ms" in units.fmt_time(1.5e-3)
+    assert units.fmt_time(2.0).endswith(" s")
+
+
+def test_fmt_bytes_binary():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(2048) == "2 KiB"
+    assert units.fmt_bytes(3 * 1024 ** 2) == "3 MiB"
+    assert "GiB" in units.fmt_bytes(5 * 1024 ** 3)
+
+
+def test_fmt_bandwidth_decimal():
+    assert units.fmt_bandwidth(500) == "500 B/s"
+    assert units.fmt_bandwidth(2.5e9) == "2.5 GB/s"
+    assert "MB/s" in units.fmt_bandwidth(8e6)
+
+
+def test_fmt_flops():
+    assert "TF/s" in units.fmt_flops(8.7e12)
+    assert "GF/s" in units.fmt_flops(6.4e9)
+    assert "MF/s" in units.fmt_flops(5e6)
+
+
+# -- rng ------------------------------------------------------------------------
+
+def test_make_rng_deterministic():
+    a = make_rng(7, 1).random(4)
+    b = make_rng(7, 1).random(4)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_streams_independent():
+    a = make_rng(7, 1).random(4)
+    b = make_rng(7, 2).random(4)
+    assert not np.array_equal(a, b)
+
+
+def test_make_rng_default_seed():
+    a = make_rng(None, 3).random(2)
+    b = make_rng(DEFAULT_SEED, 3).random(2)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_rngs_per_rank():
+    rngs = spawn_rngs(4, seed=11)
+    vals = [r.random() for r in rngs]
+    assert len(set(vals)) == 4
+
+
+def test_random_ring_is_permutation():
+    rng = make_rng(5)
+    perm = random_derangement_ring(16, rng)
+    assert sorted(perm) == list(range(16))
+
+
+# -- tracer -------------------------------------------------------------------
+
+def _msg(src=0, dst=1, nbytes=100, intra=False, t0=0.0, t1=1.0):
+    return MessageRecord(src=src, dst=dst, nbytes=nbytes, tag=0,
+                         t_inject=t0, t_deliver=t1, intra_node=intra)
+
+
+def test_tracer_accumulates():
+    tr = Tracer()
+    tr.record_message(_msg(nbytes=100))
+    tr.record_message(_msg(nbytes=50, intra=True))
+    assert tr.message_count == 2
+    assert tr.total_bytes == 150
+    assert tr.inter_node_bytes == 100
+
+
+def test_tracer_messages_between():
+    tr = Tracer()
+    tr.record_message(_msg(src=0, dst=1))
+    tr.record_message(_msg(src=1, dst=0))
+    assert len(tr.messages_between(0, 1)) == 1
+    assert len(tr.messages_between(1, 0)) == 1
+    assert tr.messages_between(0, 2) == []
+
+
+def test_tracer_compute_time_per_rank():
+    tr = Tracer()
+    tr.record_compute(ComputeRecord(rank=0, flops=1, bytes_moved=0,
+                                    kernel="dgemm", t_start=0.0, t_end=2.0))
+    tr.record_compute(ComputeRecord(rank=1, flops=1, bytes_moved=0,
+                                    kernel="dgemm", t_start=0.0, t_end=3.0))
+    assert tr.compute_time(0) == 2.0
+    assert tr.compute_time() == 5.0
+
+
+def test_disabled_tracer_records_nothing():
+    tr = Tracer(enabled=False)
+    tr.record_message(_msg())
+    tr.record_compute(ComputeRecord(0, 1, 0, "dgemm", 0.0, 1.0))
+    assert tr.message_count == 0
+    assert tr.computes == []
+
+
+def test_null_tracer_is_disabled():
+    assert not NULL_TRACER.enabled
+
+
+def test_tracer_clear():
+    tr = Tracer()
+    tr.record_message(_msg())
+    tr.clear()
+    assert tr.message_count == 0

@@ -1,0 +1,133 @@
+"""Utilization/communication-matrix analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.utilization import (
+    comm_matrix,
+    format_report,
+    message_size_histogram,
+    utilization_report,
+)
+from repro.mpi.cluster import Cluster
+from tests.conftest import make_test_machine
+
+M = make_test_machine(cpus_per_node=2, max_cpus=64)
+
+
+def traced_cluster(p, prog):
+    cl = Cluster(M, p, trace=True)
+    cl.run(prog)
+    return cl
+
+
+def test_comm_matrix_alltoall_uniform():
+    p, n = 6, 4096
+
+    def prog(comm):
+        yield from comm.alltoall(nbytes=n, algorithm="pairwise")
+
+    cl = traced_cluster(p, prog)
+    mat = comm_matrix(cl.tracer, p)
+    off_diag = mat[~np.eye(p, dtype=bool)]
+    assert np.all(off_diag == n)
+    assert np.all(np.diag(mat) == 0)
+
+
+def test_comm_matrix_bcast_tree_shape():
+    p = 8
+
+    def prog(comm):
+        yield from comm.bcast(nbytes=1024, root=0, algorithm="binomial")
+
+    cl = traced_cluster(p, prog)
+    mat = comm_matrix(cl.tracer, p)
+    # root sends log2(p) messages; total tree edges = p-1
+    assert np.count_nonzero(mat[0]) == 3
+    assert np.count_nonzero(mat) == p - 1
+
+
+def test_size_histogram_buckets():
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=0)
+            yield from comm.send(1, nbytes=5)      # bucket 4
+            yield from comm.send(1, nbytes=1000)   # bucket 512
+        else:
+            for _ in range(3):
+                yield from comm.recv(0)
+
+    cl = traced_cluster(2, prog)
+    hist = message_size_histogram(cl.tracer)
+    assert hist == {0: 1, 4: 1, 512: 1}
+
+
+def test_utilization_report_fields():
+    p = 8
+
+    def prog(comm):
+        yield from comm.alltoall(nbytes=1 << 16)
+        yield from comm.compute(flops=1e7, kernel="dgemm")
+
+    cl = traced_cluster(p, prog)
+    rep = utilization_report(cl)
+    assert rep.message_count == p * (p - 1)
+    assert 0 < rep.intra_node_fraction < 1
+    assert all(0 <= u <= 1.0001 for u in rep.egress_utilization.values())
+    assert all(0 <= u for u in rep.core_utilization.values())
+    assert all(f > 0 for f in rep.compute_fraction.values())
+    assert rep.comm_matrix.shape == (p, p)
+
+
+def test_intra_fraction_single_node_is_one():
+    m = make_test_machine(cpus_per_node=8)
+
+    def prog(comm):
+        yield from comm.allgather(nbytes=4096)
+
+    cl = Cluster(m, 4, trace=True)
+    cl.run(prog)
+    rep = utilization_report(cl)
+    assert rep.intra_node_fraction == pytest.approx(1.0)
+    assert all(u == 0 for u in rep.egress_utilization.values())
+
+
+def test_format_report_readable():
+    def prog(comm):
+        yield from comm.alltoall(nbytes=8192)
+
+    cl = traced_cluster(4, prog)
+    text = format_report(utilization_report(cl))
+    assert "messages:" in text
+    assert "busiest NICs:" in text
+    assert "core level 1:" in text
+
+
+# -- scaling-series helpers -----------------------------------------------------
+
+def test_build_series_and_ratio():
+    from repro.analysis import build_series, ratio_series
+
+    series = build_series(
+        "Test Box", "testbox",
+        cpu_counts=[2, 4, 8],
+        hpl_fn=lambda p: p * 0.001,          # TFlop/s
+        value_fn=lambda p, hpl: p * 2.0,     # accumulated GB/s
+    )
+    assert [p.cpus for p in series.points] == [2, 4, 8]
+    assert series.final.value == 16.0
+    xs, ys = series.xy()
+    assert xs == [0.002, 0.004, 0.008]
+
+    ratios = ratio_series(series)
+    # value / (hpl_tflops * 1e3 GFlop/s): 4 GB/s over 2 GF/s = 2 B/F
+    assert all(abs(p.value - 2.0) < 1e-12 for p in ratios.points)
+    assert ratios.label.endswith("(ratio)")
+
+
+def test_scaling_series_x_axis_choice():
+    from repro.analysis import build_series
+
+    s = build_series("m", "m", [2, 4], lambda p: 1.0, lambda p, h: p)
+    xs, ys = s.xy(x="cpus")
+    assert xs == [2, 4] and ys == [2, 4]
