@@ -25,12 +25,28 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections.abc import Callable, Generator, Iterable
+from heapq import heappop, heappush
 from typing import Any
 
 from .errors import DeadlockError, SimulationError
 
 #: Type alias for process generators.
 ProcessGen = Generator[Any, Any, Any]
+
+#: Process-wide event counter, accumulated by every :meth:`Engine.run`.
+#: The sweep executor reads deltas around each simulation point to report
+#: events-processed / events-per-second in ``BENCH_harness.json``.
+EVENT_STATS = {"processed": 0}
+
+
+def events_processed_total() -> int:
+    """Total events executed by all engines in this process."""
+    return EVENT_STATS["processed"]
+
+
+#: Shared args tuple for self-reschedules — avoids one allocation per event
+#: on the dominant sleep path.
+_STEP_ARGS = (None,)
 
 
 class Event:
@@ -68,12 +84,17 @@ class Event:
         self._triggered = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        engine = self.engine
         for proc in waiters:
-            self.engine.schedule(0.0, proc._step, value)
+            heappush(engine._heap,
+                     (engine._now, next(engine._counter), proc._step, (value,)))
 
     def _add_waiter(self, proc: "Process") -> None:
         if self._triggered:
-            self.engine.schedule(0.0, proc._step, self._value)
+            engine = self.engine
+            heappush(engine._heap,
+                     (engine._now, next(engine._counter), proc._step,
+                      (self._value,)))
         else:
             self._waiters.append(proc)
 
@@ -118,7 +139,14 @@ class Process:
         self.engine.schedule(0.0, self._step, None)
 
     def _step(self, value: Any) -> None:
-        """Advance the generator by one yield."""
+        """Advance the generator by one yield.
+
+        Hot path: this runs once per event.  The dominant yields are plain
+        ``float`` sleeps and ``None`` re-schedules, so those are dispatched
+        on exact type and pushed straight onto the heap with pre-bound
+        locals; ``Event``/``Process`` waits and int/float subclasses
+        (``bool``, numpy scalars) take the slower isinstance branches.
+        """
         engine = self.engine
         try:
             item = self.gen.send(value)
@@ -129,18 +157,29 @@ class Process:
         except Exception:
             engine._live_processes.discard(self)
             raise
-        if item is None:
-            engine.schedule(0.0, self._step, None)
+        cls = item.__class__
+        if cls is float or cls is int:
+            if item < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {item!r}"
+                )
+            heappush(engine._heap,
+                     (engine._now + item, next(engine._counter),
+                      self._step, _STEP_ARGS))
+        elif item is None:
+            heappush(engine._heap,
+                     (engine._now, next(engine._counter),
+                      self._step, _STEP_ARGS))
+        elif isinstance(item, Event):
+            item._add_waiter(self)
+        elif isinstance(item, Process):
+            item.done._add_waiter(self)
         elif isinstance(item, (int, float)):
             if item < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {item!r}"
                 )
             engine.schedule(float(item), self._step, None)
-        elif isinstance(item, Event):
-            item._add_waiter(self)
-        elif isinstance(item, Process):
-            item.done._add_waiter(self)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value {item!r}"
@@ -160,6 +199,8 @@ class Engine:
         self._counter = itertools.count()
         self._live_processes: set[Process] = set()
         self._running = False
+        #: Events executed by this engine across all run() calls.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -193,15 +234,26 @@ class Engine:
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = heappop
+        n_events = 0
         try:
-            while self._heap:
-                t, _seq, fn, args = self._heap[0]
-                if until is not None and t > until:
-                    self._now = until
-                    return self._now
-                heapq.heappop(self._heap)
-                self._now = t
-                fn(*args)
+            if until is None:
+                while heap:
+                    t, _seq, fn, args = pop(heap)
+                    self._now = t
+                    fn(*args)
+                    n_events += 1
+            else:
+                while heap:
+                    t, _seq, fn, args = heap[0]
+                    if t > until:
+                        self._now = until
+                        return self._now
+                    pop(heap)
+                    self._now = t
+                    fn(*args)
+                    n_events += 1
             if self._live_processes:
                 stuck = sorted(p.name for p in self._live_processes)
                 raise DeadlockError(
@@ -212,6 +264,8 @@ class Engine:
             return self._now
         finally:
             self._running = False
+            self.events_processed += n_events
+            EVENT_STATS["processed"] += n_events
 
     def run_all(self, gens: Iterable[ProcessGen]) -> list[Any]:
         """Spawn each generator, run to completion, return their results."""

@@ -1,0 +1,33 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+The paper's figures and tables are sweeps of independent simulation
+points (machine x rank-count x benchmark).  This package decomposes those
+sweeps into :class:`SimPoint` units, runs them through a
+:class:`SweepExecutor` (process fan-out + on-disk cache), and merges
+results deterministically so serial and parallel runs are byte-identical.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, source_fingerprint
+from .executor import (
+    SweepExecutor,
+    default_jobs,
+    get_executor,
+    set_executor,
+    using_executor,
+)
+from .points import SimPoint
+from .worker import PointRecord, compute_point
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "PointRecord",
+    "ResultCache",
+    "SimPoint",
+    "SweepExecutor",
+    "compute_point",
+    "default_jobs",
+    "get_executor",
+    "set_executor",
+    "source_fingerprint",
+    "using_executor",
+]

@@ -1,0 +1,120 @@
+"""Content-addressed, on-disk cache of simulation-point results.
+
+A cache entry's address is ``sha256(fingerprint + point.key())`` where the
+fingerprint hashes the entire ``repro`` source tree.  Any source change —
+a model constant, a collective algorithm, the engine itself — therefore
+invalidates every entry automatically: stale results can never be served.
+
+Entries are pickled :class:`~repro.exec.worker.PointRecord` objects stored
+under ``.repro_cache/<2-hex>/<64-hex>.pkl`` (sharded to keep directories
+small).  Writes are atomic (tempfile + rename) so concurrent harness runs
+can share one cache directory safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+
+from .points import SimPoint
+
+#: Default cache location (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bump when the on-disk record layout changes incompatibly.
+CACHE_FORMAT = 1
+
+_fingerprint_memo: dict[str, str] = {}
+
+
+def source_fingerprint(root: str | os.PathLike | None = None) -> str:
+    """Hash of every ``*.py`` file under the ``repro`` package.
+
+    The digest covers relative paths and file contents, so renames,
+    edits, additions and deletions all change it.  Memoised per root —
+    the tree is only read once per process.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+    root = Path(root)
+    memo_key = str(root)
+    cached = _fingerprint_memo.get(memo_key)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    h.update(f"format={CACHE_FORMAT}".encode())
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if "__pycache__" in rel:
+            continue
+        h.update(rel.encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    digest = h.hexdigest()
+    _fingerprint_memo[memo_key] = digest
+    return digest
+
+
+class ResultCache:
+    """Content-addressed store mapping :class:`SimPoint` -> result record."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR,
+                 fingerprint: str | None = None) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint or source_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, point: SimPoint) -> Path:
+        digest = hashlib.sha256(
+            (self.fingerprint + "\n" + point.key()).encode()
+        ).hexdigest()
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, point: SimPoint):
+        """Return the cached record for ``point``, or ``None`` on a miss."""
+        path = self._path(point)
+        try:
+            with path.open("rb") as fh:
+                record = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, point: SimPoint, record) -> None:
+        """Store ``record`` for ``point`` (atomic write)."""
+        path = self._path(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(record, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> None:
+        """Delete the entire cache directory."""
+        if self.root.exists():
+            shutil.rmtree(self.root)
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ResultCache {self.root} hits={self.hits} "
+                f"misses={self.misses}>")

@@ -1,0 +1,152 @@
+"""Parallel sweep executor with deterministic merge order.
+
+:class:`SweepExecutor` takes a list of independent simulation points,
+satisfies what it can from the result cache, fans the misses out over a
+``ProcessPoolExecutor`` (or computes them inline when ``jobs == 1``), and
+returns values **in the order the points were given**.  Serial and
+parallel runs therefore produce byte-identical figures, CSVs and tables —
+parallelism changes only the wall clock.
+
+The active executor is process-global: library code (the figure/table
+builders) calls :func:`get_executor`, which defaults to a serial,
+cache-less executor so plain API use and the test-suite behave exactly as
+before; the CLI harness installs a configured executor around a run via
+:func:`using_executor`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Sequence
+from time import perf_counter
+from typing import Any
+
+from .cache import ResultCache
+from .points import SimPoint
+from .worker import PointRecord, compute_point
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, else the host CPU count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+class SweepExecutor:
+    """Runs batches of :class:`SimPoint` with caching and process fan-out."""
+
+    def __init__(self, jobs: int | None = None,
+                 cache: ResultCache | None = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self._pool: ProcessPoolExecutor | None = None
+        # Cumulative instrumentation (see stats()).
+        self.points_total = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.events = 0
+        self.compute_wall_s = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ----------------------------------------------------------
+
+    def run_points(self, points: Sequence[SimPoint]) -> list[Any]:
+        """Compute every point; values returned in input order."""
+        records: list[PointRecord | None] = [None] * len(points)
+        misses: list[tuple[int, SimPoint]] = []
+        for i, pt in enumerate(points):
+            rec = self.cache.get(pt) if self.cache is not None else None
+            if rec is not None:
+                records[i] = rec
+            else:
+                misses.append((i, pt))
+
+        if misses:
+            t0 = perf_counter()
+            if self.jobs > 1 and len(misses) > 1:
+                pool = self._get_pool()
+                computed = list(pool.map(compute_point,
+                                         [pt for _i, pt in misses]))
+            else:
+                computed = [compute_point(pt) for _i, pt in misses]
+            self.compute_wall_s += perf_counter() - t0
+            for (i, pt), rec in zip(misses, computed):
+                records[i] = rec
+                if self.cache is not None:
+                    self.cache.put(pt, rec)
+
+        self.points_total += len(points)
+        self.cache_hits += len(points) - len(misses)
+        self.cache_misses += len(misses)
+        self.events += sum(r.events for r in records)
+        return [r.value for r in records]
+
+    def stats(self) -> dict:
+        """Cumulative counters since construction (snapshot-and-diff safe)."""
+        return {
+            "points": self.points_total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "events": self.events,
+            "compute_wall_s": self.compute_wall_s,
+        }
+
+
+# -- process-global executor context ----------------------------------------
+
+_current: SweepExecutor | None = None
+_default: SweepExecutor | None = None
+
+
+def get_executor() -> SweepExecutor:
+    """The active executor (a serial, cache-less one if none installed)."""
+    global _default
+    if _current is not None:
+        return _current
+    if _default is None:
+        _default = SweepExecutor(jobs=1, cache=None)
+    return _default
+
+
+def set_executor(executor: SweepExecutor | None) -> SweepExecutor | None:
+    """Install ``executor`` as the process-global default; returns the old."""
+    global _current
+    previous, _current = _current, executor
+    return previous
+
+
+@contextlib.contextmanager
+def using_executor(executor: SweepExecutor):
+    """Scope ``executor`` as the active one for a ``with`` block."""
+    previous = set_executor(executor)
+    try:
+        yield executor
+    finally:
+        set_executor(previous)

@@ -1,0 +1,45 @@
+"""Simulation points: the unit of work the sweep executor schedules.
+
+A :class:`SimPoint` names one independent simulation — a (kind, machine,
+rank-count, params) tuple.  Every figure and table of the paper decomposes
+into a list of such points; because each point is a pure function of its
+fields plus the source tree, points are both parallelisable (no shared
+state) and cacheable (the key below, salted with a source fingerprint,
+is content-addressed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One independent simulation: kind + machine + rank count + params.
+
+    ``params`` is a sorted tuple of (name, value) pairs so that equal
+    parameter sets always produce equal points and a stable cache key.
+    """
+
+    kind: str
+    machine: str
+    nprocs: int
+    params: tuple[tuple[str, object], ...] = field(default=())
+
+    @classmethod
+    def make(cls, kind: str, machine: str, nprocs: int, **params) -> "SimPoint":
+        return cls(kind, machine, nprocs, tuple(sorted(params.items())))
+
+    def param(self, name: str, default=None):
+        for k, v in self.params:
+            if k == name:
+                return v
+        return default
+
+    def key(self) -> str:
+        """Stable, human-readable identity string (cache-key material)."""
+        ps = ",".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind}/{self.machine}/p{self.nprocs}/{ps}"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.key()

@@ -1,0 +1,97 @@
+"""Point computation: the function that runs inside worker processes.
+
+:func:`compute_point` maps a :class:`~repro.exec.points.SimPoint` to its
+result.  It is a pure function of the point plus the source tree, defined
+at module level so :class:`concurrent.futures.ProcessPoolExecutor` can
+pickle it, and it only imports model layers (machine / hpcc / imb) —
+never the harness — to keep the import graph acyclic.
+
+Each computation is timed and annotated with the number of simulation
+events the engine executed, so the executor can report events/sec without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any
+
+from ..core.engine import EVENT_STATS
+from ..hpcc import RingConfig, hpl_model_time, run_hpcc, run_ring, run_stream
+from ..hpcc.suite import scaled_config
+from ..imb.framework import PAPER_MSG_BYTES
+from ..imb.suite import run_benchmark
+from ..machine import get_machine
+from .points import SimPoint
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """A computed point: the value plus execution metadata.
+
+    ``wall_s`` and ``events`` describe the original computation; they are
+    stored in the cache with the value so cached runs can still report a
+    meaningful perf trajectory.
+    """
+
+    value: Any
+    wall_s: float
+    events: int
+
+
+def _ring_hpl(point: SimPoint) -> tuple[float, float]:
+    """(HPL TFlop/s, accumulated random-ring GB/s) at one rank count."""
+    m = get_machine(point.machine)
+    p = point.nprocs
+    hpl = hpl_model_time(m, p).tflops
+    ring = run_ring(m, p, RingConfig(n_rings=point.param("n_rings", 4)))
+    return (hpl, ring.accumulated_gbs)
+
+
+def _stream_hpl(point: SimPoint) -> tuple[float, float]:
+    """(HPL TFlop/s, accumulated EP-STREAM Copy GB/s) at one rank count."""
+    m = get_machine(point.machine)
+    p = point.nprocs
+    hpl = hpl_model_time(m, p).tflops
+    stream = run_stream(m, min(p, 8))  # embarrassingly parallel
+    return (hpl, stream.copy_gbs * p)
+
+
+def _hpcc(point: SimPoint):
+    """Full HPCC suite at one configuration -> HPCCResult."""
+    m = get_machine(point.machine)
+    return run_hpcc(m, point.nprocs, scaled_config(point.nprocs))
+
+
+def _imb(point: SimPoint):
+    """One IMB benchmark measurement -> IMBResult."""
+    m = get_machine(point.machine)
+    return run_benchmark(
+        m,
+        point.param("benchmark"),
+        point.nprocs,
+        msg_bytes=point.param("msg_bytes", PAPER_MSG_BYTES),
+    )
+
+
+_COMPUTE = {
+    "ring_hpl": _ring_hpl,
+    "stream_hpl": _stream_hpl,
+    "hpcc": _hpcc,
+    "imb": _imb,
+}
+
+
+def compute_point(point: SimPoint) -> PointRecord:
+    """Compute one simulation point; safe to call in any process."""
+    try:
+        fn = _COMPUTE[point.kind]
+    except KeyError:
+        raise ValueError(f"unknown simulation point kind {point.kind!r}") from None
+    ev0 = EVENT_STATS["processed"]
+    t0 = perf_counter()
+    value = fn(point)
+    wall = perf_counter() - t0
+    return PointRecord(value=value, wall_s=wall,
+                       events=EVENT_STATS["processed"] - ev0)

@@ -21,20 +21,11 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..analysis.ratios import KiviatData, kiviat_normalise
-from ..hpcc import (
-    FFTConfig,
-    HPCCConfig,
-    HPCCResult,
-    PtransConfig,
-    RandomAccessConfig,
-    RingConfig,
-    hpl_model_time,
-    run_hpcc,
-    run_ring,
-    run_stream,
-)
-from ..imb.framework import PAPER_MSG_BYTES
-from ..imb.suite import sweep_benchmark
+from ..exec import SimPoint, get_executor
+from ..hpcc import HPCCResult
+from ..hpcc.suite import scaled_config
+from ..imb.framework import PAPER_MSG_BYTES, get_benchmark
+from ..imb import suite as _imb_suite  # noqa: F401 - benchmark registration
 from ..machine import get_machine
 
 #: Machines in the HPCC balance sweeps (Figs 1-4), as in the paper.
@@ -96,20 +87,31 @@ def _cap(machine_name: str, max_cpus: int | None, floor: int = 2) -> int | None:
 # Figs 1-4: balance of communication/memory to computation
 # ---------------------------------------------------------------------------
 
-@lru_cache(maxsize=8)
-def _ring_hpl_sweep(max_cpus: int | None):
-    """(machine -> [(cpus, hpl_tflops, accumulated_ring_GBs)])."""
-    out = {}
+def _balance_sweep(kind: str, max_cpus: int | None, **params):
+    """(machine -> [(cpus, hpl_tflops, accumulated_GBs)]) via the executor.
+
+    ``kind`` is a worker point kind ("ring_hpl" / "stream_hpl") whose value
+    is an (hpl, accumulated) pair; the points for all machines are batched
+    into one executor call so a parallel run overlaps everything.
+    """
+    plan = []
+    points = []
     for name in HPCC_SWEEP_MACHINES:
         m = get_machine(name)
         counts = m.cpu_counts(start=4, maximum=_cap(name, max_cpus))
-        pts = []
-        for p in counts:
-            hpl = hpl_model_time(m, p).tflops
-            ring = run_ring(m, p, RingConfig(n_rings=4))
-            pts.append((p, hpl, ring.accumulated_gbs))
-        out[name] = pts
-    return out
+        plan.append((name, counts))
+        points.extend(SimPoint.make(kind, name, p, **params) for p in counts)
+    values = iter(get_executor().run_points(points))
+    return {
+        name: [(p, *next(values)) for p in counts]
+        for name, counts in plan
+    }
+
+
+@lru_cache(maxsize=8)
+def _ring_hpl_sweep(max_cpus: int | None):
+    """(machine -> [(cpus, hpl_tflops, accumulated_ring_GBs)])."""
+    return _balance_sweep("ring_hpl", max_cpus, n_rings=4)
 
 
 def fig01(max_cpus: int | None = None) -> FigureResult:
@@ -163,17 +165,8 @@ def fig02(max_cpus: int | None = None) -> FigureResult:
 
 @lru_cache(maxsize=8)
 def _stream_hpl_sweep(max_cpus: int | None):
-    out = {}
-    for name in HPCC_SWEEP_MACHINES:
-        m = get_machine(name)
-        counts = m.cpu_counts(start=4, maximum=_cap(name, max_cpus))
-        pts = []
-        for p in counts:
-            hpl = hpl_model_time(m, p).tflops
-            stream = run_stream(m, min(p, 8))  # embarrassingly parallel
-            pts.append((p, hpl, stream.copy_gbs * p))
-        out[name] = pts
-    return out
+    """(machine -> [(cpus, hpl_tflops, accumulated_stream_copy_GBs)])."""
+    return _balance_sweep("stream_hpl", max_cpus)
 
 
 def fig03(max_cpus: int | None = None) -> FigureResult:
@@ -222,30 +215,19 @@ def fig04(max_cpus: int | None = None) -> FigureResult:
 # Fig 5 / Table 3: normalised comparison of all benchmarks
 # ---------------------------------------------------------------------------
 
-def _suite_config(nprocs: int) -> HPCCConfig:
-    """Problem sizes scaled to the rank count (simulation-friendly)."""
-    # G-FFTE needs total_elements divisible by nprocs^2.  HPCC sizes the
-    # vector to fill memory; aim for ~2^20 elements per rank so the
-    # alltoall transposes run in the bandwidth-bound regime.
-    k = max(4, 1 << max(0, ((1 << 20) // nprocs).bit_length() - 1))
-    fft_total = nprocs * nprocs * k
-    return HPCCConfig(
-        ptrans=PtransConfig(n=max(2048, 8 * nprocs)),
-        fft=FFTConfig(total_elements=fft_total),
-        randomaccess=RandomAccessConfig(local_table_words=4096),
-        ring=RingConfig(n_rings=4),
-    )
+#: The harness's problem-size rule (moved to repro.hpcc.suite; kept as an
+#: alias because downstream code imports it from here).
+_suite_config = scaled_config
 
 
 @lru_cache(maxsize=8)
 def flagship_results(max_cpus: int | None = None) -> tuple[HPCCResult, ...]:
     """Full HPCC at each machine's largest measured configuration."""
-    out = []
+    points = []
     for name, cpus in FLAGSHIP_CPUS.items():
         p = cpus if max_cpus is None else min(cpus, max_cpus)
-        m = get_machine(name)
-        out.append(run_hpcc(m, p, _suite_config(p)))
-    return tuple(out)
+        points.append(SimPoint.make("hpcc", name, p))
+    return tuple(get_executor().run_points(points))
 
 
 def fig05(max_cpus: int | None = None) -> tuple[FigureResult, KiviatData]:
@@ -299,17 +281,27 @@ def imb_figure(fig_id: str, max_cpus: int | None = None,
     bench, fld, ylabel = IMB_FIGURES[fig_id]
     if bench == "Barrier":
         msg_bytes = 0
-    series = []
+    min_procs = get_benchmark(bench).min_procs
+    plan = []
+    points = []
     for name in machines:
         m = get_machine(name)
-        sweep = sweep_benchmark(m, bench, max_cpus=_cap(name, max_cpus),
-                                msg_bytes=msg_bytes)
-        pts = sweep.series(fld)
+        counts = m.cpu_counts(start=min_procs, maximum=_cap(name, max_cpus))
+        plan.append((m, counts))
+        points.extend(
+            SimPoint.make("imb", name, p, benchmark=bench,
+                          msg_bytes=msg_bytes)
+            for p in counts
+        )
+    values = iter(get_executor().run_points(points))
+    series = []
+    for m, counts in plan:
+        results = [next(values) for _ in counts]
         series.append(FigureSeries(
-            machine=name,
+            machine=m.name,
             label=m.label,
-            x=tuple(float(p) for (p, _v) in pts),
-            y=tuple(v for (_p, v) in pts),
+            x=tuple(float(r.nprocs) for r in results),
+            y=tuple(getattr(r, fld) for r in results),
         ))
     size_note = "" if bench == "Barrier" else f", {msg_bytes} B messages"
     return FigureResult(

@@ -4,15 +4,26 @@ Examples::
 
     python -m repro.harness --table 2
     python -m repro.harness --figure 12 --max-cpus 128
-    python -m repro.harness --all --max-cpus 64 --out results/
+    python -m repro.harness --all --max-cpus 64 --out results/ --jobs 8
+    python -m repro.harness --cache-clear
+
+Sweeps are decomposed into independent simulation points and run through
+:class:`repro.exec.SweepExecutor`: ``--jobs N`` (or ``REPRO_JOBS``) fans
+points out over worker processes, and results are cached on disk under
+``--cache-dir`` (default ``.repro_cache/``, keyed by a source-tree
+fingerprint) so repeated runs skip already-computed points.  Output is
+byte-identical regardless of job count or cache state.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
+from pathlib import Path
+from time import perf_counter
 
+from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepExecutor, using_executor
 from .figures import ALL_FIGURES
 from .plot import render_ascii_plot
 from .report import render_figure, render_table, save_figure, save_table
@@ -27,6 +38,30 @@ def _norm_fig(arg: str) -> str:
 def _norm_table(arg: str) -> str:
     arg = arg.lower().removeprefix("table")
     return f"table{int(arg)}"
+
+
+class _BadId(Exception):
+    """Raised for an unknown/invalid --figure or --table id."""
+
+
+def _resolve_ids(raw: list[str], norm, known: dict, what: str) -> list[str]:
+    """Normalise CLI ids, raising :class:`_BadId` with a clear message."""
+    out = []
+    for arg in raw:
+        try:
+            ident = norm(arg)
+        except ValueError:
+            raise _BadId(
+                f"error: invalid {what} id {arg!r} "
+                f"(expected one of: {', '.join(sorted(known))})"
+            ) from None
+        if ident not in known:
+            raise _BadId(
+                f"error: unknown {what} {arg!r} "
+                f"(expected one of: {', '.join(sorted(known))})"
+            )
+        out.append(ident)
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,38 +82,133 @@ def main(argv: list[str] | None = None) -> int:
                     help="directory for CSV/TXT exports")
     ap.add_argument("--plot", action="store_true",
                     help="also render figures as ASCII log-log charts")
+    ap.add_argument("--jobs", "-j", type=int, default=None,
+                    help="worker processes for sweep points "
+                         "(default: REPRO_JOBS env var, else CPU count)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the on-disk result cache")
+    ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                    help="result cache directory (default: %(default)s)")
+    ap.add_argument("--cache-clear", action="store_true",
+                    help="delete the result cache before running")
+    ap.add_argument("--bench-json", default=None,
+                    help="write per-figure perf/cache stats to this path "
+                         "(default: BENCH_harness.json for --all runs)")
     args = ap.parse_args(argv)
 
-    figures = [_norm_fig(f) for f in args.figure]
-    tables = [_norm_table(t) for t in args.table]
+    try:
+        figures = _resolve_ids(args.figure, _norm_fig, ALL_FIGURES, "figure")
+        tables = _resolve_ids(args.table, _norm_table, ALL_TABLES, "table")
+    except _BadId as exc:
+        print(exc, file=sys.stderr)
+        return 2
     if args.all:
         figures = list(ALL_FIGURES)
         tables = list(ALL_TABLES)
+
+    if args.cache_clear:
+        ResultCache(args.cache_dir).clear()
+        print(f"[cache cleared: {args.cache_dir}]")
+        if not figures and not tables:
+            return 0
     if not figures and not tables:
         ap.print_help()
         return 2
 
-    for t in tables:
-        fn = ALL_TABLES[t]
-        t0 = time.time()
-        table = fn() if t != "table3" else fn(max_cpus=args.max_cpus)
-        print(render_table(table))
-        print(f"[{t} in {time.time() - t0:.1f}s]\n")
-        if args.out:
-            save_table(table, args.out)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        executor = SweepExecutor(jobs=args.jobs, cache=cache)
+    except ValueError as exc:  # e.g. non-integer REPRO_JOBS
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    bench_items = []
+    t_run0 = perf_counter()
 
-    for f in figures:
-        fn = ALL_FIGURES[f]
-        t0 = time.time()
-        fig = fn(max_cpus=args.max_cpus)
-        print(render_figure(fig))
-        if args.plot:
-            print()
-            print(render_ascii_plot(fig))
-        print(f"[{f} in {time.time() - t0:.1f}s]\n")
-        if args.out:
-            save_figure(fig, args.out)
+    def _snapshot():
+        return executor.stats()
+
+    def _record(ident: str, wall: float, before: dict) -> None:
+        after = _snapshot()
+        delta = {k: after[k] - before[k] for k in after}
+        delta["compute_wall_s"] = round(delta["compute_wall_s"], 6)
+        events = delta["events"]
+        bench_items.append({
+            "id": ident,
+            "wall_s": round(wall, 6),
+            "points": delta["points"],
+            "cache_hits": delta["cache_hits"],
+            "cache_misses": delta["cache_misses"],
+            "events": events,
+            "events_per_sec": round(events / wall) if wall > 0 else None,
+            "compute_wall_s": delta["compute_wall_s"],
+        })
+
+    try:
+        with using_executor(executor):
+            for t in tables:
+                fn = ALL_TABLES[t]
+                before = _snapshot()
+                t0 = perf_counter()
+                table = fn() if t != "table3" else fn(max_cpus=args.max_cpus)
+                dt = perf_counter() - t0
+                print(render_table(table))
+                print(f"[{t} in {dt:.1f}s]\n")
+                _record(t, dt, before)
+                if args.out:
+                    save_table(table, args.out)
+
+            for f in figures:
+                fn = ALL_FIGURES[f]
+                before = _snapshot()
+                t0 = perf_counter()
+                fig = fn(max_cpus=args.max_cpus)
+                dt = perf_counter() - t0
+                print(render_figure(fig))
+                if args.plot:
+                    print()
+                    print(render_ascii_plot(fig))
+                print(f"[{f} in {dt:.1f}s]\n")
+                _record(f, dt, before)
+                if args.out:
+                    save_figure(fig, args.out)
+    finally:
+        executor.close()
+
+    totals = executor.stats()
+    wall_s = perf_counter() - t_run0
+    print(f"[total {wall_s:.1f}s; {totals['points']} points, "
+          f"{totals['cache_hits']} cache hits, "
+          f"{totals['cache_misses']} misses, "
+          f"{totals['events']} events]")
+
+    bench_path = _bench_path(args)
+    if bench_path is not None:
+        doc = {
+            "harness": {
+                "max_cpus": args.max_cpus,
+                "jobs": executor.jobs,
+                "cache": None if cache is None else str(cache.root),
+                "wall_s": round(wall_s, 6),
+            },
+            "totals": {**totals,
+                       "compute_wall_s": round(totals["compute_wall_s"], 6)},
+            "items": bench_items,
+        }
+        bench_path.parent.mkdir(parents=True, exist_ok=True)
+        bench_path.write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"[bench stats -> {bench_path}]")
     return 0
+
+
+def _bench_path(args) -> Path | None:
+    """Where to write BENCH_harness.json (None = skip)."""
+    if args.bench_json:
+        return Path(args.bench_json)
+    if args.out:
+        return Path(args.out) / "BENCH_harness.json"
+    if args.all:
+        return Path("BENCH_harness.json")
+    return None
 
 
 if __name__ == "__main__":  # pragma: no cover

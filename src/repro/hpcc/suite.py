@@ -97,6 +97,24 @@ class HPCCResult:
         return self.g_randomaccess_gups / self.g_hpl_gflops
 
 
+def scaled_config(nprocs: int) -> HPCCConfig:
+    """Problem sizes scaled to the rank count (simulation-friendly).
+
+    G-FFTE needs ``total_elements`` divisible by ``nprocs**2``.  HPCC sizes
+    the vector to fill memory; aim for ~2^20 elements per rank so the
+    alltoall transposes run in the bandwidth-bound regime.  This is the
+    sizing rule the harness uses for Fig 5 / Table 3.
+    """
+    k = max(4, 1 << max(0, ((1 << 20) // nprocs).bit_length() - 1))
+    fft_total = nprocs * nprocs * k
+    return HPCCConfig(
+        ptrans=PtransConfig(n=max(2048, 8 * nprocs)),
+        fft=FFTConfig(total_elements=fft_total),
+        randomaccess=RandomAccessConfig(local_table_words=4096),
+        ring=RingConfig(n_rings=4),
+    )
+
+
 def run_hpcc(machine: MachineSpec, nprocs: int,
              cfg: HPCCConfig | None = None, mode: str = "auto") -> HPCCResult:
     """Run the complete suite on ``nprocs`` CPUs of ``machine``."""
