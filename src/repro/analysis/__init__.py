@@ -10,7 +10,9 @@ from .ratios import (
     ratio_row,
     table3_maxima,
 )
-from .chrome_trace import chrome_trace_events, write_chrome_trace
+# Chrome-trace export lives in repro.obs.exporters now; re-exported here
+# (bypassing the deprecated .chrome_trace shim) for backward compatibility.
+from ..obs.exporters import chrome_trace_events, write_chrome_trace
 from .fitting import LogGPFit, fit_loggp, fit_report, measure_one_way
 from .scaling import ScalingPoint, ScalingSeries, build_series, ratio_series
 from .utilization import (

@@ -1,80 +1,22 @@
-"""Export traced runs to the Chrome trace-event format.
+"""Deprecated shim: Chrome-trace export moved to :mod:`repro.obs.exporters`.
 
-Open the produced JSON in ``chrome://tracing`` / Perfetto to inspect a
-simulated run visually: one row per rank, compute phases as duration
-events, messages as flow arrows between ranks.
-
-Usage::
-
-    cluster = Cluster(machine, 16, trace=True)
-    cluster.run(program)
-    write_chrome_trace(cluster, "run.json")
+This module re-exports :func:`chrome_trace_events` and
+:func:`write_chrome_trace` for backward compatibility and will be
+removed in a future release; import from ``repro.obs`` (or
+``repro.analysis``, which forwards) instead.
 """
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
+import warnings
 
-from ..mpi.cluster import Cluster
+from ..obs.exporters import chrome_trace_events, write_chrome_trace
 
-#: Trace timestamps are microseconds in the Chrome format.
-_US = 1e6
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
 
-
-def chrome_trace_events(cluster: Cluster) -> list[dict]:
-    """Build the trace-event list from a traced cluster run."""
-    tracer = cluster.tracer
-    events: list[dict] = []
-    for rank in range(cluster.nprocs):
-        events.append({
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": rank,
-            "args": {"name": f"rank {rank} (node "
-                             f"{cluster.placement[rank]})"},
-        })
-    for c in tracer.computes:
-        events.append({
-            "name": c.kernel,
-            "cat": "compute",
-            "ph": "X",
-            "pid": 0,
-            "tid": c.rank,
-            "ts": c.t_start * _US,
-            "dur": max((c.t_end - c.t_start) * _US, 0.001),
-            "args": {"flops": c.flops, "bytes": c.bytes_moved},
-        })
-    for i, m in enumerate(tracer.messages):
-        common = {
-            "name": f"msg {m.nbytes}B",
-            "cat": "message",
-            "id": i,
-            "pid": 0,
-        }
-        events.append({**common, "ph": "s", "tid": m.src,
-                       "ts": m.t_inject * _US})
-        events.append({**common, "ph": "f", "bp": "e", "tid": m.dst,
-                       "ts": m.t_deliver * _US})
-        # a visible sliver on the receiving row for each delivery
-        events.append({
-            "name": f"recv {m.nbytes}B from {m.src}",
-            "cat": "message",
-            "ph": "X",
-            "pid": 0,
-            "tid": m.dst,
-            "ts": m.t_deliver * _US,
-            "dur": 0.1,
-            "args": {"tag": m.tag, "intra_node": m.intra_node},
-        })
-    return events
-
-
-def write_chrome_trace(cluster: Cluster, path: str | Path) -> Path:
-    """Serialise the trace to ``path`` (Chrome trace JSON)."""
-    path = Path(path)
-    payload = {"traceEvents": chrome_trace_events(cluster),
-               "displayTimeUnit": "ms"}
-    path.write_text(json.dumps(payload))
-    return path
+warnings.warn(
+    "repro.analysis.chrome_trace is deprecated; use repro.obs.exporters "
+    "(chrome_trace_events / write_chrome_trace)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -28,6 +28,7 @@ from collections.abc import Callable, Generator, Iterable
 from heapq import heappop, heappush
 from typing import Any
 
+from ..obs.metrics import get_metrics
 from .errors import DeadlockError, SimulationError
 
 #: Type alias for process generators.
@@ -201,6 +202,10 @@ class Engine:
         self._running = False
         #: Events executed by this engine across all run() calls.
         self.events_processed = 0
+        #: Largest heap size seen while running (only tracked when the
+        #: process-global metrics registry is enabled at construction).
+        self.heap_high_water = 0
+        self._metrics = get_metrics() if get_metrics().enabled else None
 
     @property
     def now(self) -> float:
@@ -237,19 +242,34 @@ class Engine:
         heap = self._heap
         pop = heappop
         n_events = 0
+        hw = self.heap_high_water
+        track = self._metrics is not None
         try:
             if until is None:
-                while heap:
-                    t, _seq, fn, args = pop(heap)
-                    self._now = t
-                    fn(*args)
-                    n_events += 1
+                if track:
+                    # Instrumented twin of the fast loop below: the
+                    # high-water check must not tax metrics-off runs.
+                    while heap:
+                        if len(heap) > hw:
+                            hw = len(heap)
+                        t, _seq, fn, args = pop(heap)
+                        self._now = t
+                        fn(*args)
+                        n_events += 1
+                else:
+                    while heap:
+                        t, _seq, fn, args = pop(heap)
+                        self._now = t
+                        fn(*args)
+                        n_events += 1
             else:
                 while heap:
                     t, _seq, fn, args = heap[0]
                     if t > until:
                         self._now = until
                         return self._now
+                    if track and len(heap) > hw:
+                        hw = len(heap)
                     pop(heap)
                     self._now = t
                     fn(*args)
@@ -266,6 +286,12 @@ class Engine:
             self._running = False
             self.events_processed += n_events
             EVENT_STATS["processed"] += n_events
+            if track:
+                self.heap_high_water = hw
+                m = self._metrics
+                m.counter("engine.events").inc(n_events)
+                m.counter("engine.runs").inc()
+                m.gauge("engine.heap_max").set_max(hw)
 
     def run_all(self, gens: Iterable[ProcessGen]) -> list[Any]:
         """Spawn each generator, run to completion, return their results."""

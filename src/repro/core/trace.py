@@ -8,7 +8,7 @@ analysis layer (aggregate bytes on the wire, link utilisation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -36,25 +36,51 @@ class ComputeRecord:
     t_end: float
 
 
-@dataclass
 class Tracer:
-    """Accumulates trace records.  Disabled tracers cost one branch."""
+    """Accumulates trace records.  Disabled tracers cost one branch.
 
-    enabled: bool = True
-    messages: list[MessageRecord] = field(default_factory=list)
-    computes: list[ComputeRecord] = field(default_factory=list)
+    ``enabled`` is a managed property: disabling a tracer mid-run also
+    clears its records, so the aggregate views below never mix records
+    from before and after the switch (a half-populated aggregate is
+    strictly worse than an empty one — it looks like a complete run).
+    """
+
+    __slots__ = ("_enabled", "messages", "computes")
+
+    def __init__(self, enabled: bool = True,
+                 messages: list[MessageRecord] | None = None,
+                 computes: list[ComputeRecord] | None = None) -> None:
+        self._enabled = bool(enabled)
+        self.messages: list[MessageRecord] = messages if messages is not None else []
+        self.computes: list[ComputeRecord] = computes if computes is not None else []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if self._enabled and not value:
+            self.clear()
+        self._enabled = value
 
     def record_message(self, rec: MessageRecord) -> None:
-        if self.enabled:
+        if self._enabled:
             self.messages.append(rec)
 
     def record_compute(self, rec: ComputeRecord) -> None:
-        if self.enabled:
+        if self._enabled:
             self.computes.append(rec)
 
     def clear(self) -> None:
         self.messages.clear()
         self.computes.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self._enabled else "off"
+        return (f"<Tracer {state} messages={len(self.messages)} "
+                f"computes={len(self.computes)}>")
 
     # -- aggregate views used by tests/analysis ------------------------------
 
@@ -81,5 +107,20 @@ class Tracer:
         )
 
 
+class _NullTracer(Tracer):
+    """The shared disabled tracer; enabling it would silently leak
+    records between unrelated runs, so the setter refuses."""
+
+    __slots__ = ()
+
+    @Tracer.enabled.setter
+    def enabled(self, value: bool) -> None:
+        if value:
+            raise ValueError(
+                "NULL_TRACER is shared and cannot be enabled; "
+                "create a Tracer() instead"
+            )
+
+
 #: A shared no-op tracer for when tracing is off.
-NULL_TRACER = Tracer(enabled=False)
+NULL_TRACER = _NullTracer(enabled=False)

@@ -23,9 +23,10 @@ from collections.abc import Sequence
 from time import perf_counter
 from typing import Any
 
+from ..obs.metrics import get_metrics
 from .cache import ResultCache
 from .points import SimPoint
-from .worker import PointRecord, compute_point
+from .worker import PointRecord, compute_point, init_worker_metrics
 
 
 def default_jobs() -> int:
@@ -55,12 +56,21 @@ class SweepExecutor:
         self.cache_misses = 0
         self.events = 0
         self.compute_wall_s = 0.0
+        #: Per-point provenance log in submission order: each entry is
+        #: {"point", "provenance" ("cached"|"computed"), "wall_s",
+        #: "events"} so every report can tell cached points from
+        #: freshly simulated ones.
+        self.point_log: list[dict] = []
 
     # -- lifecycle ----------------------------------------------------------
 
     def _get_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=init_worker_metrics,
+                initargs=(get_metrics().enabled,),
+            )
         return self._pool
 
     def close(self) -> None:
@@ -81,12 +91,14 @@ class SweepExecutor:
         """Compute every point; values returned in input order."""
         records: list[PointRecord | None] = [None] * len(points)
         misses: list[tuple[int, SimPoint]] = []
+        fresh_idx: set[int] = set()
         for i, pt in enumerate(points):
             rec = self.cache.get(pt) if self.cache is not None else None
             if rec is not None:
                 records[i] = rec
             else:
                 misses.append((i, pt))
+                fresh_idx.add(i)
 
         if misses:
             t0 = perf_counter()
@@ -106,7 +118,39 @@ class SweepExecutor:
         self.cache_hits += len(points) - len(misses)
         self.cache_misses += len(misses)
         self.events += sum(r.events for r in records)
+        self._observe(points, records, fresh_idx)
         return [r.value for r in records]
+
+    def _observe(self, points: Sequence[SimPoint],
+                 records: Sequence[PointRecord],
+                 fresh_idx: set[int]) -> None:
+        """Provenance log + metrics fan-in for one batch.
+
+        Only freshly computed points merge their simulation metrics into
+        the ambient registry — a cached point's engine events were *not*
+        executed this run, and counting them would make ``engine.events``
+        disagree with reality.  Cached points are visible instead through
+        ``cache.hits`` and their ``provenance`` tag.
+        """
+        registry = get_metrics()
+        for i, pt in enumerate(points):
+            rec = records[i]
+            fresh = i in fresh_idx
+            self.point_log.append({
+                "point": pt.key(),
+                "provenance": "computed" if fresh else "cached",
+                "wall_s": round(rec.wall_s, 6),
+                "events": rec.events,
+            })
+            if registry.enabled and fresh:
+                registry.histogram("exec.point_wall_s").observe(rec.wall_s)
+                if rec.metrics is not None:
+                    registry.merge(rec.metrics)
+        if registry.enabled:
+            n_fresh = len(fresh_idx)
+            registry.counter("exec.points").inc(len(points))
+            registry.counter("cache.hits").inc(len(points) - n_fresh)
+            registry.counter("cache.misses").inc(n_fresh)
 
     def stats(self) -> dict:
         """Cumulative counters since construction (snapshot-and-diff safe)."""

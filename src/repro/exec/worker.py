@@ -18,6 +18,7 @@ from time import perf_counter
 from typing import Any
 
 from ..core.engine import EVENT_STATS
+from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics, using_metrics
 from ..hpcc import RingConfig, hpl_model_time, run_hpcc, run_ring, run_stream
 from ..hpcc.suite import scaled_config
 from ..imb.framework import PAPER_MSG_BYTES
@@ -32,12 +33,28 @@ class PointRecord:
 
     ``wall_s`` and ``events`` describe the original computation; they are
     stored in the cache with the value so cached runs can still report a
-    meaningful perf trajectory.
+    meaningful perf trajectory.  ``metrics`` is a per-point registry
+    snapshot (see :mod:`repro.obs.metrics`), captured only when metrics
+    were enabled at computation time; the executor merges fresh points'
+    snapshots into the ambient registry in input order.
     """
 
     value: Any
     wall_s: float
     events: int
+    metrics: dict | None = None
+
+
+def init_worker_metrics(enabled: bool) -> None:
+    """Process-pool initializer: mirror the parent's metrics switch.
+
+    Worker processes start with the shared disabled registry; when the
+    parent harness runs with metrics on, each worker gets its own
+    enabled registry so :func:`compute_point` collects per-point
+    snapshots for the deterministic fan-in merge.
+    """
+    if enabled:
+        set_metrics(MetricsRegistry(enabled=True))
 
 
 def _ring_hpl(point: SimPoint) -> tuple[float, float]:
@@ -84,14 +101,29 @@ _COMPUTE = {
 
 
 def compute_point(point: SimPoint) -> PointRecord:
-    """Compute one simulation point; safe to call in any process."""
+    """Compute one simulation point; safe to call in any process.
+
+    When the ambient metrics registry is enabled, the point runs under a
+    fresh child registry whose snapshot travels back in the record —
+    per-point isolation is what makes the parallel fan-in merge equal to
+    a serial run, and lets cached points carry their original metrics.
+    """
     try:
         fn = _COMPUTE[point.kind]
     except KeyError:
         raise ValueError(f"unknown simulation point kind {point.kind!r}") from None
+    collect = get_metrics().enabled
     ev0 = EVENT_STATS["processed"]
     t0 = perf_counter()
-    value = fn(point)
+    if collect:
+        child = MetricsRegistry(enabled=True)
+        with using_metrics(child):
+            value = fn(point)
+        snapshot = child.snapshot()
+    else:
+        value = fn(point)
+        snapshot = None
     wall = perf_counter() - t0
     return PointRecord(value=value, wall_s=wall,
-                       events=EVENT_STATS["processed"] - ev0)
+                       events=EVENT_STATS["processed"] - ev0,
+                       metrics=snapshot)

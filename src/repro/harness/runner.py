@@ -5,6 +5,7 @@ Examples::
     python -m repro.harness --table 2
     python -m repro.harness --figure 12 --max-cpus 128
     python -m repro.harness --all --max-cpus 64 --out results/ --jobs 8
+    python -m repro.harness --figure 12 --metrics m.json --trace-dir traces/
     python -m repro.harness --cache-clear
 
 Sweeps are decomposed into independent simulation points and run through
@@ -13,18 +14,34 @@ points out over worker processes, and results are cached on disk under
 ``--cache-dir`` (default ``.repro_cache/``, keyed by a source-tree
 fingerprint) so repeated runs skip already-computed points.  Output is
 byte-identical regardless of job count or cache state.
+
+Observability: ``--metrics out.json`` enables the metrics registry for
+the run (engine/network/MPI/cache counters, merged deterministically
+across worker processes, plus per-point cache provenance and per-machine
+critical-path summaries); ``--trace-dir DIR`` additionally writes Chrome
+``traceEvents`` files for representative traced runs — open them in
+``chrome://tracing`` or https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
 from time import perf_counter
 
 from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepExecutor, using_executor
+from ..obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    format_critical_path,
+    using_metrics,
+    write_spans_chrome_trace,
+)
 from .figures import ALL_FIGURES
+from .observe import observe_figures
 from .plot import render_ascii_plot
 from .report import render_figure, render_table, save_figure, save_table
 from .tables import ALL_TABLES
@@ -94,6 +111,14 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--bench-json", default=None,
                     help="write per-figure perf/cache stats to this path "
                          "(default: BENCH_harness.json for --all runs)")
+    ap.add_argument("--metrics", default=None, metavar="PATH",
+                    help="enable the metrics registry and write the "
+                         "merged metrics/provenance/critical-path JSON "
+                         "to PATH")
+    ap.add_argument("--trace-dir", default=None, metavar="DIR",
+                    help="write Chrome traceEvents JSON for one traced "
+                         "representative run per (figure, machine) plus "
+                         "the harness span tree (view in Perfetto)")
     args = ap.parse_args(argv)
 
     try:
@@ -121,13 +146,17 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:  # e.g. non-integer REPRO_JOBS
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    want_obs = args.metrics is not None or args.trace_dir is not None
+    registry = MetricsRegistry(enabled=True) if want_obs else None
+    spans = SpanRecorder()
     bench_items = []
+    cp_reports: dict[str, dict] = {}
     t_run0 = perf_counter()
 
     def _snapshot():
         return executor.stats()
 
-    def _record(ident: str, wall: float, before: dict) -> None:
+    def _record(ident: str, wall: float, before: dict, span) -> None:
         after = _snapshot()
         delta = {k: after[k] - before[k] for k in after}
         delta["compute_wall_s"] = round(delta["compute_wall_s"], 6)
@@ -141,36 +170,64 @@ def main(argv: list[str] | None = None) -> int:
             "events": events,
             "events_per_sec": round(events / wall) if wall > 0 else None,
             "compute_wall_s": delta["compute_wall_s"],
+            "spans": span.to_dict(),
         })
 
+    metrics_scope = (using_metrics(registry) if registry is not None
+                     else contextlib.nullcontext())
     try:
-        with using_executor(executor):
+        with metrics_scope, using_executor(executor):
             for t in tables:
                 fn = ALL_TABLES[t]
                 before = _snapshot()
-                t0 = perf_counter()
-                table = fn() if t != "table3" else fn(max_cpus=args.max_cpus)
-                dt = perf_counter() - t0
-                print(render_table(table))
-                print(f"[{t} in {dt:.1f}s]\n")
-                _record(t, dt, before)
-                if args.out:
-                    save_table(table, args.out)
+                with spans.span(t, cat="table") as sp:
+                    with spans.span("compute", cat="sweep"):
+                        t0 = perf_counter()
+                        table = (fn() if t != "table3"
+                                 else fn(max_cpus=args.max_cpus))
+                        dt = perf_counter() - t0
+                    with spans.span("render", cat="report"):
+                        print(render_table(table))
+                        print(f"[{t} in {dt:.1f}s]\n")
+                    if args.out:
+                        with spans.span("save", cat="report"):
+                            save_table(table, args.out)
+                _record(t, dt, before, sp)
 
             for f in figures:
                 fn = ALL_FIGURES[f]
                 before = _snapshot()
-                t0 = perf_counter()
-                fig = fn(max_cpus=args.max_cpus)
-                dt = perf_counter() - t0
-                print(render_figure(fig))
-                if args.plot:
+                with spans.span(f, cat="figure") as sp:
+                    with spans.span("compute", cat="sweep"):
+                        t0 = perf_counter()
+                        fig = fn(max_cpus=args.max_cpus)
+                        dt = perf_counter() - t0
+                    with spans.span("render", cat="report"):
+                        print(render_figure(fig))
+                        if args.plot:
+                            print()
+                            print(render_ascii_plot(fig))
+                        print(f"[{f} in {dt:.1f}s]\n")
+                    if args.out:
+                        with spans.span("save", cat="report"):
+                            save_figure(fig, args.out)
+                _record(f, dt, before, sp)
+
+            if want_obs and figures:
+                # Representative traced runs: critical-path verdicts per
+                # (figure, machine) and, with --trace-dir, Perfetto files.
+                with spans.span("observe", cat="observe"):
+                    reports = observe_figures(figures,
+                                              max_cpus=args.max_cpus,
+                                              trace_dir=args.trace_dir)
+                for fig_id, per_machine in reports.items():
+                    cp_reports[fig_id] = {
+                        m: rep.to_dict() for m, rep in per_machine.items()
+                    }
+                    print(f"[critical path — {fig_id}]")
+                    for rep in per_machine.values():
+                        print(format_critical_path(rep))
                     print()
-                    print(render_ascii_plot(fig))
-                print(f"[{f} in {dt:.1f}s]\n")
-                _record(f, dt, before)
-                if args.out:
-                    save_figure(fig, args.out)
     finally:
         executor.close()
 
@@ -180,6 +237,32 @@ def main(argv: list[str] | None = None) -> int:
           f"{totals['cache_hits']} cache hits, "
           f"{totals['cache_misses']} misses, "
           f"{totals['events']} events]")
+
+    if args.trace_dir is not None:
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        write_spans_chrome_trace(spans.roots, trace_dir / "harness_spans.json")
+        print(f"[traces -> {trace_dir}]")
+
+    if args.metrics is not None:
+        snap = registry.snapshot()
+        metrics_doc = {
+            "harness": {
+                "max_cpus": args.max_cpus,
+                "jobs": executor.jobs,
+                "wall_s": round(wall_s, 6),
+            },
+            "metrics": registry.flat(),
+            "histograms": snap["histograms"],
+            "points": executor.point_log,
+            "critical_path": cp_reports,
+            "spans": spans.to_dicts(),
+        }
+        metrics_path = Path(args.metrics)
+        if metrics_path.parent != Path(""):
+            metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(json.dumps(metrics_doc, indent=1) + "\n")
+        print(f"[metrics -> {metrics_path}]")
 
     bench_path = _bench_path(args)
     if bench_path is not None:

@@ -26,6 +26,7 @@ from ..core.engine import Engine, Event
 from ..core.errors import MPIError
 from ..core.trace import MessageRecord, Tracer
 from ..network.netmodel import Fabric
+from ..obs.metrics import get_metrics
 from .datatypes import ANY_SOURCE, ANY_TAG, RecvResult, copy_payload
 
 #: Logical size of rendezvous control messages (RTS/CTS).
@@ -98,6 +99,16 @@ class Transport:
         # is enforced on this order, not on arrival order (an eager
         # payload can physically land after a later message's RTS).
         self._send_seq: dict[tuple[int, int, Any], int] = {}
+        registry = get_metrics()
+        if registry.enabled:
+            # (intra, inter) instrument pairs, indexed by bool(inter).
+            self._m_msgs = (registry.counter("mpi.messages.intra"),
+                            registry.counter("mpi.messages.inter"))
+            self._m_bytes = (registry.counter("mpi.bytes.intra"),
+                             registry.counter("mpi.bytes.inter"))
+        else:
+            self._m_msgs = None
+            self._m_bytes = None
 
     # -- CPU bookkeeping -----------------------------------------------------
 
@@ -167,6 +178,10 @@ class Transport:
 
         src_node = self.placement[src]
         dst_node = self.placement[dst]
+        if self._m_msgs is not None:
+            inter = src_node != dst_node
+            self._m_msgs[inter].inc()
+            self._m_bytes[inter].inc(nbytes)
 
         if self.fabric.is_eager(nbytes) and not force_rendezvous:
             # Stage through a local bounce-buffer copy; the sender is free

@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.errors import ConfigError
-from .resources import BandwidthResource, reserve_joint
+from ..obs.metrics import get_metrics
+from .resources import BandwidthResource, ResourceMetrics, reserve_joint
 from .topology import Topology
 
 
@@ -104,33 +105,45 @@ class Fabric:
         self.params = params
         n = topology.n_nodes
         nic_bw = params.effective_nic_bw
+        registry = get_metrics()
+        mk = ResourceMetrics.for_kind  # None per kind when metrics are off
+        egress_m = mk(registry, "egress")
+        ingress_m = mk(registry, "ingress")
         self._egress = [
-            BandwidthResource(f"egress[{i}]", nic_bw) for i in range(n)
+            BandwidthResource(f"egress[{i}]", nic_bw, egress_m)
+            for i in range(n)
         ]
         self._ingress = [
-            BandwidthResource(f"ingress[{i}]", nic_bw) for i in range(n)
+            BandwidthResource(f"ingress[{i}]", nic_bw, ingress_m)
+            for i in range(n)
         ]
         # The NIC bus carries both directions; with duplex_factor < 2 it
         # becomes the bottleneck under simultaneous send+recv (e.g. the
         # Myrinet Lanai cards behind one PCI-X bus).
         if params.duplex_factor < 2.0:
+            bus_m = mk(registry, "nicbus")
             self._bus = [
-                BandwidthResource(f"nicbus[{i}]", nic_bw * params.duplex_factor)
+                BandwidthResource(f"nicbus[{i}]",
+                                  nic_bw * params.duplex_factor, bus_m)
                 for i in range(n)
             ]
         else:
             self._bus = None
+        core_m = mk(registry, "core")
         self._core = {
             level: BandwidthResource(
                 f"core[{level}]",
                 topology.level_capacity_links(level)
                 * params.link_bw
                 * params.bw_efficiency,
+                core_m,
             )
             for level in range(1, topology.n_levels + 1)
         }
+        shm_m = mk(registry, "shm")
         self._shm = [
-            BandwidthResource(f"shm[{i}]", params.shm_bw) for i in range(n)
+            BandwidthResource(f"shm[{i}]", params.shm_bw, shm_m)
+            for i in range(n)
         ]
 
     # -- introspection used by analysis/tests -------------------------------
@@ -144,6 +157,9 @@ class Fabric:
 
     def egress_resource(self, node: int) -> BandwidthResource:
         return self._egress[node]
+
+    def ingress_resource(self, node: int) -> BandwidthResource:
+        return self._ingress[node]
 
     def shm_resource(self, node: int) -> BandwidthResource:
         return self._shm[node]

@@ -14,8 +14,37 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 from ..core.errors import ConfigError
+from ..obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ResourceMetrics:
+    """Instruments shared by every resource instance of one kind.
+
+    Aggregating per *kind* (egress/ingress/core/shm/nicbus) rather than
+    per instance keeps metric cardinality independent of node count;
+    per-instance ``busy_time``/``bytes_served`` stay on the resource
+    itself for the critical-path analyser and the utilisation report.
+    """
+
+    queue_wait: object   # Histogram of seconds spent queued before service
+    bytes: object        # Counter of bytes served
+    busy_s: object       # Counter of busy (serving) virtual seconds
+
+    @classmethod
+    def for_kind(cls, registry: MetricsRegistry,
+                 kind: str) -> "ResourceMetrics | None":
+        """Instruments under ``net.<kind>.*``, or None when disabled."""
+        if not registry.enabled:
+            return None
+        return cls(
+            queue_wait=registry.histogram(f"net.{kind}.queue_wait"),
+            bytes=registry.counter(f"net.{kind}.bytes"),
+            busy_s=registry.counter(f"net.{kind}.busy_s"),
+        )
 
 
 class BandwidthResource:
@@ -23,12 +52,15 @@ class BandwidthResource:
 
     ``bandwidth`` is in bytes/second and may be ``math.inf`` for a
     non-constraining resource.  Utilisation accounting is kept for the
-    analysis layer.
+    analysis layer; an optional :class:`ResourceMetrics` additionally
+    streams queue-wait/bytes/busy into the metrics registry.
     """
 
-    __slots__ = ("name", "bandwidth", "next_free", "busy_time", "bytes_served")
+    __slots__ = ("name", "bandwidth", "next_free", "busy_time",
+                 "bytes_served", "metrics")
 
-    def __init__(self, name: str, bandwidth: float) -> None:
+    def __init__(self, name: str, bandwidth: float,
+                 metrics: ResourceMetrics | None = None) -> None:
         if bandwidth <= 0:
             raise ConfigError(f"resource {name!r}: bandwidth must be > 0")
         self.name = name
@@ -36,6 +68,7 @@ class BandwidthResource:
         self.next_free = 0.0
         self.busy_time = 0.0
         self.bytes_served = 0.0
+        self.metrics = metrics
 
     def service_time(self, nbytes: float) -> float:
         if self.bandwidth is math.inf:
@@ -49,6 +82,11 @@ class BandwidthResource:
         self.next_free = end
         self.busy_time += end - start
         self.bytes_served += nbytes
+        m = self.metrics
+        if m is not None:
+            m.queue_wait.observe(start - earliest)
+            m.bytes.inc(nbytes)
+            m.busy_s.inc(end - start)
         return start, end
 
     def reset(self) -> None:

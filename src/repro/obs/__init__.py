@@ -1,0 +1,71 @@
+"""Unified observability: metrics, span tracing, critical-path analysis.
+
+This package is the single place the simulator reports *why* a run took
+the time it did:
+
+* :mod:`repro.obs.metrics` — a zero-dependency metrics registry
+  (counters, gauges, log2-bucket histograms) with hierarchical names
+  like ``engine.events`` or ``net.egress.queue_wait``.  Near-zero cost
+  when disabled (the default outside the harness).
+* :mod:`repro.obs.spans` — span tracing: wall-time spans for harness
+  stages, virtual-time spans derived from a traced cluster run.
+* :mod:`repro.obs.exporters` — Chrome ``traceEvents`` JSON (view in
+  ``chrome://tracing`` / Perfetto), newline-delimited JSON, and
+  human-readable summary tables.
+* :mod:`repro.obs.critical_path` — walks the message/compute records of
+  a traced run and reports which resource (compute, NIC, bisection,
+  shared memory, wire latency) dominates end-to-end time.
+
+Nothing in this package imports the model layers at module level, so the
+core engine can import :mod:`repro.obs.metrics` without cycles.
+"""
+
+from .critical_path import (
+    CriticalPathReport,
+    PathSegment,
+    critical_path_report,
+    format_critical_path,
+)
+from .exporters import (
+    chrome_trace_events,
+    spans_to_chrome_events,
+    summary_table,
+    write_chrome_trace,
+    write_ndjson,
+    write_spans_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    merge_snapshots,
+    set_metrics,
+    using_metrics,
+)
+from .spans import Span, SpanRecorder, spans_from_tracer
+
+__all__ = [
+    "Counter",
+    "CriticalPathReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PathSegment",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace_events",
+    "critical_path_report",
+    "format_critical_path",
+    "get_metrics",
+    "merge_snapshots",
+    "set_metrics",
+    "spans_from_tracer",
+    "spans_to_chrome_events",
+    "summary_table",
+    "using_metrics",
+    "write_chrome_trace",
+    "write_ndjson",
+    "write_spans_chrome_trace",
+]

@@ -1,0 +1,232 @@
+"""Critical-path analysis of a traced cluster run.
+
+Answers the paper's "why is Alltoall slow on this machine" questions:
+starting from the record that finishes last, walk backwards through the
+message/compute records of a traced run, chaining each record to the
+latest record that finished before it began on the relevant rank.  The
+walk yields a chain of :class:`PathSegment`\\ s whose durations are
+attributed to a resource kind:
+
+* ``compute`` — roofline compute phases,
+* ``nic``     — per-node injection/ejection bandwidth,
+* ``bisection`` — the shared network-core capacity of the level crossed,
+* ``link``    — the single-stream link burst bandwidth,
+* ``shm``     — intra-node shared-memory transfers,
+* ``latency`` — zero-byte wire latency,
+* ``wait``    — dependency gaps (the rank was blocked on a peer).
+
+Inter-node message time is attributed to whichever component's ideal
+service time is largest — queueing on a FIFO resource stretches the
+observed duration, but the *identity* of the bottleneck is the resource
+with the largest service demand, which is what the paper's per-machine
+explanations (NIC sharing, bisection collapse) turn on.
+
+The per-kind totals along the path plus the fabric's busy-time counters
+give a one-line verdict: the dominant resource and its share of
+end-to-end time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid importing the model layers at module level
+    from ..mpi.cluster import Cluster
+
+#: Tolerance when chaining records (floating-point slack, seconds).
+_EPS = 1e-12
+
+#: Hard cap on walk length — a safety net, not a truncation that should
+#: ever trigger on real collectives (they have O(P log P) records).
+_MAX_SEGMENTS = 100_000
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One hop of the critical path."""
+
+    kind: str        # compute | nic | bisection | link | shm | latency | wait
+    rank: int        # rank whose timeline the segment lies on
+    t_start: float
+    t_end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Where the end-to-end time of a traced run went."""
+
+    machine: str
+    nprocs: int
+    elapsed: float                      # virtual seconds
+    dominant: str                       # resource kind with the largest share
+    breakdown: dict[str, float]         # kind -> seconds along the path
+    utilisation: dict[str, float]       # kind -> max busy/elapsed over instances
+    segments: tuple[PathSegment, ...]   # the walked chain, latest first
+
+    @property
+    def covered(self) -> float:
+        """Fraction of end-to-end time the walked path explains."""
+        if self.elapsed <= 0:
+            return 0.0
+        return sum(self.breakdown.values()) / self.elapsed
+
+    def dominant_share(self) -> float:
+        total = sum(v for k, v in self.breakdown.items()) or 1.0
+        return self.breakdown.get(self.dominant, 0.0) / total
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "nprocs": self.nprocs,
+            "elapsed_us": self.elapsed * 1e6,
+            "dominant": self.dominant,
+            "dominant_share": round(self.dominant_share(), 4),
+            "breakdown_us": {k: v * 1e6
+                             for k, v in sorted(self.breakdown.items())},
+            "utilisation": {k: round(v, 4)
+                            for k, v in sorted(self.utilisation.items())},
+            "path_segments": len(self.segments),
+        }
+
+
+def _classify_message(fabric, src_node: int, dst_node: int,
+                      nbytes: float) -> tuple[str, str]:
+    """(kind, detail) for one inter-node message's dominant component."""
+    params = fabric.params
+    hops = fabric.topology.hops(src_node, dst_node)
+    level = fabric.topology.path_level(src_node, dst_node)
+    candidates = {
+        "nic": nbytes / params.effective_nic_bw,
+        "bisection": nbytes / fabric.core_resource(level).bandwidth,
+        "link": nbytes / params.effective_point_bw,
+        "latency": params.latency(hops),
+    }
+    kind = max(candidates, key=lambda k: (candidates[k], k))
+    return kind, f"level {level}, {int(nbytes)}B {src_node}->{dst_node}"
+
+
+def critical_path_report(cluster: "Cluster") -> CriticalPathReport:
+    """Walk a traced run's records back from the last finisher.
+
+    ``cluster`` must have been run with ``trace=True``; the fabric's
+    per-resource busy counters from the same run provide the
+    utilisation side of the report.
+    """
+    tracer = cluster.tracer
+    fabric = cluster.fabric
+    placement = cluster.placement
+    elapsed = cluster.engine.now if cluster.engine is not None else 0.0
+
+    # (end, start, end_rank, prev_rank, kind resolver) per record
+    records: list[tuple[float, float, int, int, object]] = []
+    for c in tracer.computes:
+        records.append((c.t_end, c.t_start, c.rank, c.rank, c))
+    for m in tracer.messages:
+        records.append((m.t_deliver, m.t_inject, m.dst, m.src, m))
+    records.sort(key=lambda r: r[0])
+
+    segments: list[PathSegment] = []
+    breakdown: dict[str, float] = {}
+
+    def add(kind: str, rank: int, t0: float, t1: float, detail: str = "") -> None:
+        if t1 - t0 <= 0:
+            return
+        segments.append(PathSegment(kind, rank, t0, t1, detail))
+        breakdown[kind] = breakdown.get(kind, 0.0) + (t1 - t0)
+
+    if records:
+        # Per-rank index of records *ending* on that rank, sorted by end.
+        by_rank: dict[int, list[tuple[float, float, int, int, object]]] = {}
+        for rec in records:
+            by_rank.setdefault(rec[2], []).append(rec)
+
+        cur = records[-1]
+        while cur is not None and len(segments) < _MAX_SEGMENTS:
+            end, start, rank, prev_rank, payload = cur
+            if hasattr(payload, "kernel"):  # ComputeRecord
+                add("compute", rank, start, end, payload.kernel)
+            else:  # MessageRecord
+                if payload.intra_node:
+                    kind, detail = "shm", f"{int(payload.nbytes)}B intra-node"
+                else:
+                    kind, detail = _classify_message(
+                        fabric, placement[payload.src],
+                        placement[payload.dst], payload.nbytes,
+                    )
+                add(kind, rank, start, end, detail)
+            # Latest record finishing on prev_rank at or before our start.
+            nxt = None
+            for cand in reversed(by_rank.get(prev_rank, ())):
+                if cand[0] <= start + _EPS and cand is not cur:
+                    nxt = cand
+                    break
+            if nxt is not None and start - nxt[0] > _EPS:
+                add("wait", prev_rank, nxt[0], start)
+            cur = nxt
+
+    # Resource-utilisation side: busiest instance per kind.
+    utilisation: dict[str, float] = {}
+    if elapsed > 0 and fabric is not None:
+        n = fabric.n_nodes
+        nic = max(
+            (max(fabric.egress_resource(i).busy_time,
+                 fabric.ingress_resource(i).busy_time) for i in range(n)),
+            default=0.0,
+        )
+        utilisation["nic"] = nic / elapsed
+        levels = range(1, fabric.topology.n_levels + 1)
+        core = max((fabric.core_resource(lv).busy_time for lv in levels),
+                   default=0.0)
+        utilisation["bisection"] = core / elapsed
+        shm = max((fabric.shm_resource(i).busy_time for i in range(n)),
+                  default=0.0)
+        utilisation["shm"] = shm / elapsed
+        comp = max((tracer.compute_time(r) for r in range(cluster.nprocs)),
+                   default=0.0)
+        utilisation["compute"] = comp / elapsed
+
+    productive = {k: v for k, v in breakdown.items() if k != "wait"}
+    if productive:
+        dominant = max(productive, key=lambda k: (productive[k], k))
+    elif utilisation:
+        dominant = max(utilisation, key=lambda k: (utilisation[k], k))
+    else:
+        dominant = "compute"
+
+    return CriticalPathReport(
+        machine=cluster.machine.name,
+        nprocs=cluster.nprocs,
+        elapsed=elapsed,
+        dominant=dominant,
+        breakdown=breakdown,
+        utilisation=utilisation,
+        segments=tuple(segments),
+    )
+
+
+def format_critical_path(report: CriticalPathReport) -> str:
+    """One-paragraph human rendering of a :class:`CriticalPathReport`."""
+    total = sum(report.breakdown.values()) or 1.0
+    parts = ", ".join(
+        f"{k} {v / total * 100:.0f}%"
+        for k, v in sorted(report.breakdown.items(), key=lambda kv: -kv[1])
+    )
+    util = ", ".join(
+        f"{k} {v * 100:.0f}%"
+        for k, v in sorted(report.utilisation.items(), key=lambda kv: -kv[1])
+    )
+    lines = [
+        f"{report.machine} P={report.nprocs}: "
+        f"{report.dominant} dominates the critical path "
+        f"({report.dominant_share() * 100:.0f}% of "
+        f"{report.elapsed * 1e6:.1f} us end-to-end)",
+        f"  path breakdown: {parts or 'n/a'}",
+        f"  busiest instances: {util or 'n/a'}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Exporters: Chrome trace JSON, newline-delimited JSON, summary tables.
+
+Chrome ``traceEvents`` files open in ``chrome://tracing`` or
+https://ui.perfetto.dev: one row per rank, compute phases as duration
+(``X``) events, messages as flow arrows between ranks.  Wall-time span
+trees from the harness export the same way, one row per nesting depth.
+
+Usage::
+
+    cluster = Cluster(machine, 16, trace=True)
+    cluster.run(program)
+    write_chrome_trace(cluster, "run.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from .spans import Span
+
+if TYPE_CHECKING:  # avoid importing the model layers at module level
+    from ..mpi.cluster import Cluster
+
+#: Trace timestamps are microseconds in the Chrome format.
+_US = 1e6
+
+
+def chrome_trace_events(cluster: "Cluster") -> list[dict]:
+    """Build the trace-event list from a traced cluster run."""
+    tracer = cluster.tracer
+    events: list[dict] = []
+    for rank in range(cluster.nprocs):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": rank,
+            "args": {"name": f"rank {rank} (node "
+                             f"{cluster.placement[rank]})"},
+        })
+    for c in tracer.computes:
+        events.append({
+            "name": c.kernel,
+            "cat": "compute",
+            "ph": "X",
+            "pid": 0,
+            "tid": c.rank,
+            "ts": c.t_start * _US,
+            "dur": max((c.t_end - c.t_start) * _US, 0.001),
+            "args": {"flops": c.flops, "bytes": c.bytes_moved},
+        })
+    for i, m in enumerate(tracer.messages):
+        common = {
+            "name": f"msg {m.nbytes}B",
+            "cat": "message",
+            "id": i,
+            "pid": 0,
+        }
+        events.append({**common, "ph": "s", "tid": m.src,
+                       "ts": m.t_inject * _US})
+        events.append({**common, "ph": "f", "bp": "e", "tid": m.dst,
+                       "ts": m.t_deliver * _US})
+        # a visible sliver on the receiving row for each delivery
+        events.append({
+            "name": f"recv {m.nbytes}B from {m.src}",
+            "cat": "message",
+            "ph": "X",
+            "pid": 0,
+            "tid": m.dst,
+            "ts": m.t_deliver * _US,
+            "dur": 0.1,
+            "args": {"tag": m.tag, "intra_node": m.intra_node},
+        })
+    return events
+
+
+def write_chrome_trace(cluster: "Cluster", path: str | Path) -> Path:
+    """Serialise a traced cluster run to ``path`` (Chrome trace JSON)."""
+    path = Path(path)
+    payload = {"traceEvents": chrome_trace_events(cluster),
+               "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+# -- span export --------------------------------------------------------------
+
+def spans_to_chrome_events(spans: Iterable[Span]) -> list[dict]:
+    """Chrome ``X`` (complete) events for a list or tree of spans.
+
+    Wall spans are assumed to be seconds from an arbitrary epoch;
+    virtual spans are virtual seconds from t=0.  Children are emitted
+    recursively, so passing ``recorder.roots`` exports a whole tree.
+    """
+    events: list[dict] = []
+
+    def emit(span: Span) -> None:
+        end = span.t_start if span.t_end is None else span.t_end
+        events.append({
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "pid": 0,
+            "tid": span.tid,
+            "ts": span.t_start * _US,
+            "dur": max((end - span.t_start) * _US, 0.001),
+            "args": span.args,
+        })
+        for child in span.children:
+            emit(child)
+
+    for s in spans:
+        emit(s)
+    return events
+
+
+def write_spans_chrome_trace(spans: Iterable[Span], path: str | Path) -> Path:
+    """Serialise spans (trees allowed) to a Chrome trace JSON file."""
+    path = Path(path)
+    # Rebase wall timestamps so the trace starts at t=0.
+    spans = list(spans)
+    events = spans_to_chrome_events(spans)
+    if events:
+        t0 = min(e["ts"] for e in events)
+        for e in events:
+            e["ts"] -= t0
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def write_ndjson(records: Iterable[dict], path: str | Path) -> Path:
+    """Write one JSON object per line (for log shippers / jq pipelines)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def summary_table(spans: Iterable[Span], indent: int = 2) -> str:
+    """Human-readable nested span summary with durations and shares."""
+    lines = [f"{'span':<44} {'time':>12} {'share':>7}"]
+    spans = list(spans)
+    total = sum(s.duration for s in spans) or 1.0
+
+    def fmt_time(seconds: float) -> str:
+        if seconds >= 1.0:
+            return f"{seconds:.2f} s"
+        return f"{seconds * 1e3:.2f} ms"
+
+    def emit(span: Span, depth: int, parent_total: float) -> None:
+        share = span.duration / parent_total if parent_total else 0.0
+        label = " " * (indent * depth) + span.name
+        lines.append(f"{label:<44} {fmt_time(span.duration):>12} "
+                     f"{share * 100:>6.1f}%")
+        for child in span.children:
+            emit(child, depth + 1, span.duration or parent_total)
+
+    for s in spans:
+        emit(s, 0, total)
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Span tracing: timed, nested phases of a run.
+
+Two clock domains share one :class:`Span` type:
+
+* **wall** spans time harness stages (figure builds, rendering, cache
+  I/O) with ``time.perf_counter``;
+* **virtual** spans describe simulated activity — compute phases and
+  message transfers lifted out of a :class:`~repro.core.trace.Tracer`
+  by :func:`spans_from_tracer`.
+
+A :class:`SpanRecorder` builds a tree of wall spans via a context
+manager; the tree serialises to plain dicts (for ``BENCH_harness.json``)
+and to Chrome trace events (see :mod:`repro.obs.exporters`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Iterator
+
+from ..core.trace import Tracer
+
+
+@dataclass
+class Span:
+    """One timed phase; ``clock`` is ``"wall"`` or ``"virtual"``."""
+
+    name: str
+    cat: str = "harness"
+    clock: str = "wall"
+    t_start: float = 0.0
+    t_end: float | None = None
+    tid: int = 0
+    args: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.t_end is None else self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        d = {
+            "name": self.name,
+            "cat": self.cat,
+            "clock": self.clock,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "duration_s": self.duration,
+        }
+        if self.args:
+            d["args"] = self.args
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+
+class SpanRecorder:
+    """Builds a tree of wall-time spans around harness stages.
+
+    The recorder is always safe to use — it costs two clock reads per
+    span — and keeps every root span for later export::
+
+        rec = SpanRecorder()
+        with rec.span("fig12"):
+            with rec.span("compute", cat="sweep"):
+                ...
+        rec.roots[0].children[0].duration
+    """
+
+    def __init__(self, clock: Callable[[], float] = perf_counter) -> None:
+        self._clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def begin(self, name: str, cat: str = "harness", **args) -> Span:
+        span = Span(name=name, cat=cat, clock="wall",
+                    t_start=self._clock(), args=dict(args))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        if not self._stack or self._stack[-1] is not span:
+            raise ValueError(
+                f"span {span.name!r} is not the innermost open span"
+            )
+        self._stack.pop()
+        span.t_end = self._clock()
+        return span
+
+    @contextlib.contextmanager
+    def span(self, name: str, cat: str = "harness", **args) -> Iterator[Span]:
+        s = self.begin(name, cat=cat, **args)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def to_dicts(self) -> list[dict]:
+        return [r.to_dict() for r in self.roots]
+
+
+def spans_from_tracer(tracer: Tracer) -> list[Span]:
+    """Virtual-time spans for every record of a traced cluster run.
+
+    Compute records become per-rank spans (``tid`` = rank); message
+    records become spans on the *destination* rank's timeline covering
+    inject-to-deliver, tagged with source and size.  The flat list is
+    ordered by start time, ready for the exporters.
+    """
+    spans = [
+        Span(
+            name=c.kernel,
+            cat="compute",
+            clock="virtual",
+            t_start=c.t_start,
+            t_end=c.t_end,
+            tid=c.rank,
+            args={"flops": c.flops, "bytes": c.bytes_moved},
+        )
+        for c in tracer.computes
+    ]
+    spans.extend(
+        Span(
+            name=f"msg {m.nbytes}B from {m.src}",
+            cat="message",
+            clock="virtual",
+            t_start=m.t_inject,
+            t_end=m.t_deliver,
+            tid=m.dst,
+            args={"src": m.src, "dst": m.dst, "nbytes": m.nbytes,
+                  "tag": m.tag, "intra_node": m.intra_node},
+        )
+        for m in tracer.messages
+    )
+    spans.sort(key=lambda s: (s.t_start, s.tid, s.name))
+    return spans

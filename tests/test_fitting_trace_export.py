@@ -5,8 +5,8 @@ import json
 import pytest
 
 from repro import get_machine
-from repro.analysis.chrome_trace import chrome_trace_events, write_chrome_trace
 from repro.analysis.fitting import fit_loggp, fit_report, measure_one_way
+from repro.obs.exporters import chrome_trace_events, write_chrome_trace
 from repro.mpi.cluster import Cluster
 from tests.conftest import make_test_machine
 
