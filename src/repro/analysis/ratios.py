@@ -13,6 +13,7 @@ paper prints as Table 3.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -104,6 +105,34 @@ def kiviat_normalise(results: Sequence[HPCCResult]) -> KiviatData:
 def table3_maxima(results: Sequence[HPCCResult]) -> dict[str, float]:
     """The paper's Table 3: the absolute value behind each Fig 5 '1.0'."""
     return kiviat_normalise(results).maxima
+
+
+def kiviat_violations(data: KiviatData, tol: float = 1e-12) -> list[str]:
+    """Normalisation defects in Fig 5 data (empty list = well-formed).
+
+    Ratio-normalised columns must satisfy, by construction: every value
+    lies in (0, 1 + tol], and exactly one machine sits at the column
+    maximum 1.0 (the system that defines it).  Any violation means the
+    normalisation pipeline — not the calibration — is broken.
+    """
+    bad: list[str] = []
+    for col in data.columns:
+        ones = values = 0
+        for m in data.machines:
+            v = data.normalised[m].get(col)
+            if v is None:
+                continue
+            values += 1
+            if not math.isfinite(v) or v <= 0 or v > 1 + tol:
+                bad.append(f"{col}[{m}]: normalised value {v!r} outside (0, 1]")
+            elif abs(v - 1.0) <= tol:
+                ones += 1
+        # Global-benchmark columns are empty below the paper's 1 TFlop/s
+        # reporting cutoff; an absent column is not a defect.
+        if values and ones != 1:
+            bad.append(f"{col}: {ones} machines at the column maximum "
+                       f"(expected exactly 1)")
+    return bad
 
 
 def best_machine(data: KiviatData, column: str) -> str:

@@ -92,11 +92,19 @@ def _imb(point: SimPoint):
     )
 
 
+def _hpcc_verify(point: SimPoint):
+    """HPCC numeric verification battery -> VerificationReport."""
+    from ..hpcc.verification import run_verification
+
+    return run_verification(get_machine(point.machine), nprocs=point.nprocs)
+
+
 _COMPUTE = {
     "ring_hpl": _ring_hpl,
     "stream_hpl": _stream_hpl,
     "hpcc": _hpcc,
     "imb": _imb,
+    "hpcc_verify": _hpcc_verify,
 }
 
 

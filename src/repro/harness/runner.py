@@ -6,6 +6,7 @@ Examples::
     python -m repro.harness --figure 12 --max-cpus 128
     python -m repro.harness --all --max-cpus 64 --out results/ --jobs 8
     python -m repro.harness --figure 12 --metrics m.json --trace-dir traces/
+    python -m repro.harness --validate --max-cpus 64 --jobs 4
     python -m repro.harness --cache-clear
 
 Sweeps are decomposed into independent simulation points and run through
@@ -81,6 +82,46 @@ def _resolve_ids(raw: list[str], norm, known: dict, what: str) -> list[str]:
     return out
 
 
+def _creation_blocker(path: Path) -> Path | None:
+    """First existing ancestor (or ``path`` itself) that is not a directory.
+
+    ``mkdir(parents=True)`` would blow up on it mid-run; catching it up
+    front turns an end-of-run traceback into a usage error.
+    """
+    for p in (path, *path.parents):
+        if p.exists():
+            return None if p.is_dir() else p
+    return None
+
+
+def check_output_paths(metrics: str | None, trace_dir: str | None,
+                       *extra_files: str | None) -> str | None:
+    """Validate output-path arguments before any simulation runs.
+
+    Returns a usage-error message, or None when every path is writable.
+    ``extra_files`` are additional file outputs (e.g. the validation
+    report) checked under the same rules as ``--metrics``.
+    """
+    for label, raw in (("--metrics", metrics),
+                       *(("output file", x) for x in extra_files)):
+        if raw is None:
+            continue
+        p = Path(raw)
+        if p.is_dir():
+            return f"{label}: {p} is a directory, expected a file path"
+        blocker = _creation_blocker(p.parent) if str(p.parent) else None
+        if blocker is not None:
+            return (f"{label}: cannot create {p.parent}/ "
+                    f"({blocker} is not a directory)")
+    if trace_dir is not None:
+        d = Path(trace_dir)
+        blocker = _creation_blocker(d)
+        if blocker is not None:
+            return (f"--trace-dir: cannot use {d} "
+                    f"({blocker} is not a directory)")
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -119,6 +160,14 @@ def main(argv: list[str] | None = None) -> int:
                     help="write Chrome traceEvents JSON for one traced "
                          "representative run per (figure, machine) plus "
                          "the harness span tree (view in Perfetto)")
+    ap.add_argument("--validate", action="store_true",
+                    help="regenerate the selected items (default: all) and "
+                         "diff them against results/ under "
+                         "results/TOLERANCES.json, plus the metamorphic "
+                         "invariant battery; exit 3 on regression")
+    ap.add_argument("--validate-report", default=None, metavar="PATH",
+                    help="with --validate: write the machine-readable "
+                         "per-cell report JSON to PATH")
     args = ap.parse_args(argv)
 
     try:
@@ -131,12 +180,18 @@ def main(argv: list[str] | None = None) -> int:
         figures = list(ALL_FIGURES)
         tables = list(ALL_TABLES)
 
+    err = check_output_paths(args.metrics, args.trace_dir,
+                             args.validate_report)
+    if err is not None:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
     if args.cache_clear:
         ResultCache(args.cache_dir).clear()
         print(f"[cache cleared: {args.cache_dir}]")
-        if not figures and not tables:
+        if not figures and not tables and not args.validate:
             return 0
-    if not figures and not tables:
+    if not figures and not tables and not args.all and not args.validate:
         ap.print_help()
         return 2
 
@@ -146,6 +201,33 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:  # e.g. non-integer REPRO_JOBS
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.validate:
+        # Deferred import: repro.validate imports the harness figure/table
+        # registries, so the dependency must point this way only at call
+        # time to keep the import graph acyclic.
+        from ..core.errors import ConfigError
+        from ..validate.gate import run_validation
+
+        explicit = bool(figures or tables)
+        try:
+            with using_executor(executor):
+                report = run_validation(
+                    figures=figures if explicit else None,
+                    tables=tables if explicit else None,
+                    max_cpus=args.max_cpus,
+                    jobs=executor.jobs,
+                    report_path=args.validate_report,
+                )
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            executor.close()
+        print(report.summary())
+        if args.validate_report:
+            print(f"[validation report -> {args.validate_report}]")
+        return report.exit_code()
     want_obs = args.metrics is not None or args.trace_dir is not None
     registry = MetricsRegistry(enabled=True) if want_obs else None
     spans = SpanRecorder()

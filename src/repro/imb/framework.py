@@ -17,6 +17,7 @@ average out jitter.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..core.errors import BenchmarkError
@@ -58,6 +59,22 @@ class IMBResult:
             f"{self.benchmark}[{self.machine}, P={self.nprocs}, "
             f"{self.msg_bytes} B] = {self.time_us:.2f} us{bw}"
         )
+
+    def check(self) -> list[str]:
+        """Physical-sanity violations in this measurement (empty = ok).
+
+        Any simulated machine, however degraded, must produce a finite
+        positive time and (for transfer benchmarks) a finite positive
+        bandwidth — used by the validation fuzzer.
+        """
+        bad: list[str] = []
+        if not (math.isfinite(self.time_us) and self.time_us > 0):
+            bad.append(f"{self.benchmark}: non-positive time {self.time_us!r}")
+        if self.bandwidth_mbs is not None and not (
+                math.isfinite(self.bandwidth_mbs) and self.bandwidth_mbs > 0):
+            bad.append(f"{self.benchmark}: invalid bandwidth "
+                       f"{self.bandwidth_mbs!r}")
+        return bad
 
 
 class IMBBenchmark:

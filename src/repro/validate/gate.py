@@ -1,0 +1,64 @@
+"""The combined validation gate: golden + invariants + fuzz in one run.
+
+:func:`run_validation` is what both entry points call —
+``python -m repro.harness --validate`` and ``python -m repro.validate``.
+It composes whichever layers the caller enabled into one
+:class:`~repro.validate.report.ValidationReport`, optionally writing the
+machine-readable artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..harness.figures import ALL_FIGURES
+from ..harness.tables import ALL_TABLES
+from .golden import run_golden
+from .manifest import load_manifest, manifest_path_for
+from .metamorphic import run_invariants
+from .report import ValidationReport
+
+
+def run_validation(
+    figures: list[str] | None = None,
+    tables: list[str] | None = None,
+    *,
+    results_dir: str | Path = "results",
+    manifest_path: str | Path | None = None,
+    max_cpus: int | None = None,
+    golden: bool = True,
+    invariants: bool = True,
+    fuzz_configs: int = 0,
+    fuzz_seed: int = 0,
+    jobs: int = 2,
+    report_path: str | Path | None = None,
+) -> ValidationReport:
+    """Run the enabled validation layers and collect one report.
+
+    ``figures``/``tables`` default to every known item when the golden
+    layer is on.  Runs through the ambient executor — install one with
+    :func:`repro.exec.using_executor` to parallelise or cache.
+    """
+    report = ValidationReport(max_cpus=max_cpus)
+    if golden:
+        figs = list(ALL_FIGURES) if figures is None else figures
+        tabs = list(ALL_TABLES) if tables is None else tables
+        manifest = load_manifest(
+            manifest_path if manifest_path is not None
+            else manifest_path_for(results_dir))
+        report.items = run_golden(figs, tabs, results_dir=results_dir,
+                                  manifest=manifest, max_cpus=max_cpus)
+    if invariants:
+        report.invariants = run_invariants(
+            max_cpus=max_cpus if max_cpus is not None else 16, jobs=jobs)
+    if fuzz_configs > 0:
+        from .fuzz import run_fuzz
+
+        report.fuzz = run_fuzz(seed=fuzz_seed,
+                               n_configs=fuzz_configs).to_dict()
+    if report_path is not None:
+        path = Path(report_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return report

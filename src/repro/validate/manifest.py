@@ -1,0 +1,153 @@
+"""Tolerance manifest: what "reproduced" means, per figure/table.
+
+The golden-result gate (:mod:`repro.validate.golden`) needs to know, for
+every artifact under ``results/``, how strictly a regenerated value must
+match the committed one.  That policy lives in ``results/TOLERANCES.json``
+next to the data it governs, so a calibration PR that legitimately moves
+numbers must touch the manifest in the same diff — the review sees both.
+
+Three comparison modes:
+
+* ``exact`` — byte-identical CSV cells (static tables, e.g. Table 2).
+* ``rel`` — every numeric cell within ``rtol`` relative error
+  (simulation outputs: deterministic, so the seed tree matches at 0.0,
+  and the tolerance is headroom for deliberate re-calibration).
+* ``ordering`` — only the ranking of machines per x-position must hold
+  (shape claims like "the SX-8 curve stays on top").
+
+``requires_full`` marks items whose committed values only exist at the
+paper's full CPU ranges (Fig 5 / Table 3 run flagship configurations);
+a capped ``--max-cpus`` validation reports them as *uncovered* rather
+than comparing apples to oranges.
+
+Anchors name the paper claims a cell backs (e.g. "SX-8 ~60 B/KFlop flat
+to 576 CPUs"); when a cell regresses, the report says which quoted
+number just broke instead of only a row index.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.errors import ConfigError
+
+#: Comparison modes a rule may declare.
+MODES = ("exact", "rel", "ordering")
+
+#: Manifest file name, resolved relative to the golden results directory.
+MANIFEST_NAME = "TOLERANCES.json"
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """A paper claim tied to (part of) an item's data."""
+
+    name: str
+    machine: str | None = None   # None: the anchor spans every series
+
+    def covers(self, machine: str | None) -> bool:
+        return self.machine is None or self.machine == machine
+
+
+@dataclass(frozen=True)
+class ToleranceRule:
+    """How one figure/table must match its committed golden data."""
+
+    item_id: str
+    mode: str = "rel"
+    rtol: float = 0.02
+    requires_full: bool = False
+    anchors: tuple[Anchor, ...] = ()
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(
+                f"{self.item_id}: unknown tolerance mode {self.mode!r} "
+                f"(expected one of {MODES})"
+            )
+        if self.rtol < 0:
+            raise ConfigError(f"{self.item_id}: rtol must be >= 0")
+
+    def anchor_for(self, machine: str | None) -> Anchor | None:
+        """The most specific anchor covering ``machine`` (if any)."""
+        best = None
+        for a in self.anchors:
+            if a.covers(machine):
+                if a.machine is not None:
+                    return a
+                best = best or a
+        return best
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """Parsed ``TOLERANCES.json``: per-item rules plus kind defaults."""
+
+    path: str
+    version: int
+    defaults: dict = field(default_factory=dict)
+    items: dict = field(default_factory=dict)   # item_id -> ToleranceRule
+
+    def rule_for(self, item_id: str) -> ToleranceRule:
+        """The rule governing ``item_id`` (explicit entry or kind default)."""
+        rule = self.items.get(item_id)
+        if rule is not None:
+            return rule
+        kind = "table" if item_id.startswith("table") else "figure"
+        d = self.defaults.get(kind, {})
+        return ToleranceRule(
+            item_id=item_id,
+            mode=d.get("mode", "rel"),
+            rtol=d.get("rtol", 0.02),
+        )
+
+
+def _parse_anchors(raw: list) -> tuple[Anchor, ...]:
+    return tuple(Anchor(name=a["name"], machine=a.get("machine"))
+                 for a in raw)
+
+
+def _parse_rule(item_id: str, entry: dict, defaults: dict) -> ToleranceRule:
+    kind = "table" if item_id.startswith("table") else "figure"
+    d = defaults.get(kind, {})
+    return ToleranceRule(
+        item_id=item_id,
+        mode=entry.get("mode", d.get("mode", "rel")),
+        rtol=entry.get("rtol", d.get("rtol", 0.02)),
+        requires_full=entry.get("requires_full", False),
+        anchors=_parse_anchors(entry.get("anchors", [])),
+        notes=entry.get("notes", ""),
+    )
+
+
+def load_manifest(path: str | Path) -> Manifest:
+    """Load and validate a tolerance manifest."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(
+            f"tolerance manifest not found: {path} — the golden gate "
+            f"refuses to run without declared tolerances"
+        )
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid tolerance manifest {path}: {exc}") from None
+    defaults = doc.get("defaults", {})
+    items = {
+        item_id: _parse_rule(item_id, entry, defaults)
+        for item_id, entry in doc.get("items", {}).items()
+    }
+    return Manifest(
+        path=str(path),
+        version=int(doc.get("version", 1)),
+        defaults=defaults,
+        items=items,
+    )
+
+
+def manifest_path_for(results_dir: str | Path) -> Path:
+    """Where the manifest lives for a given golden results directory."""
+    return Path(results_dir) / MANIFEST_NAME

@@ -1,0 +1,203 @@
+"""Validation report types: per-cell verdicts, human summary, exit codes.
+
+Every layer of the validation subsystem (golden gate, metamorphic
+invariants, config fuzzer) reports into one :class:`ValidationReport`,
+which renders both ways: :meth:`ValidationReport.to_dict` is the
+machine-readable artifact CI uploads, :meth:`ValidationReport.summary`
+is what a human reads in the job log.  Exit code 3 (distinct from the
+CLIs' usage-error 2) means "the numbers moved": a regression against
+the committed golden results, a broken invariant, or a fuzz failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Process exit codes of the validation CLIs.
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_REGRESSION = 3
+
+#: Cell / item statuses.
+OK = "ok"
+FAIL = "fail"
+UNCOVERED = "uncovered"   # not comparable at this scale (requires_full etc.)
+MISSING = "missing"       # golden data absent for a regenerated value
+
+
+@dataclass(frozen=True)
+class CellReport:
+    """One compared value: a (series, index) point or a table cell."""
+
+    item: str                    # "fig02", "table3", ...
+    series: str                  # machine name, or "row<N>" for tables
+    index: int                   # point index within the series / column index
+    column: str                  # "x"/"y" for figures, header name for tables
+    expected: object             # golden value (float or string)
+    actual: object               # regenerated value
+    rel_err: float | None        # relative error where numeric
+    status: str                  # OK / FAIL / UNCOVERED / MISSING
+    anchor: str | None = None    # paper claim this cell backs, if declared
+
+    def to_dict(self) -> dict:
+        return {
+            "series": self.series,
+            "index": self.index,
+            "column": self.column,
+            "expected": self.expected,
+            "actual": self.actual,
+            "rel_err": self.rel_err,
+            "status": self.status,
+            "anchor": self.anchor,
+        }
+
+
+@dataclass(frozen=True)
+class ItemReport:
+    """Verdict for one figure/table against its golden data."""
+
+    item_id: str
+    mode: str
+    status: str                     # OK / FAIL / UNCOVERED / MISSING
+    cells: tuple[CellReport, ...] = ()
+    detail: str = ""
+
+    @property
+    def failed_cells(self) -> tuple[CellReport, ...]:
+        return tuple(c for c in self.cells if c.status == FAIL)
+
+    @property
+    def worst_rel_err(self) -> float | None:
+        errs = [c.rel_err for c in self.cells if c.rel_err is not None]
+        return max(errs) if errs else None
+
+    @property
+    def broken_anchors(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for c in self.failed_cells:
+            if c.anchor:
+                seen.setdefault(c.anchor)
+        return tuple(seen)
+
+    def to_dict(self) -> dict:
+        return {
+            "item": self.item_id,
+            "mode": self.mode,
+            "status": self.status,
+            "detail": self.detail,
+            "cells_total": len(self.cells),
+            "cells_failed": len(self.failed_cells),
+            "worst_rel_err": self.worst_rel_err,
+            "broken_anchors": list(self.broken_anchors),
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One metamorphic invariant's verdict."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "passed": self.passed,
+                "detail": self.detail}
+
+
+@dataclass
+class ValidationReport:
+    """The combined verdict of every validation layer that ran."""
+
+    max_cpus: int | None = None
+    items: list[ItemReport] = field(default_factory=list)
+    invariants: list[InvariantResult] = field(default_factory=list)
+    fuzz: dict | None = None     # FuzzReport.to_dict(), when the fuzzer ran
+
+    @property
+    def golden_ok(self) -> bool:
+        return all(i.status in (OK, UNCOVERED) for i in self.items)
+
+    @property
+    def invariants_ok(self) -> bool:
+        return all(r.passed for r in self.invariants)
+
+    @property
+    def fuzz_ok(self) -> bool:
+        return self.fuzz is None or not self.fuzz.get("failures")
+
+    @property
+    def ok(self) -> bool:
+        return self.golden_ok and self.invariants_ok and self.fuzz_ok
+
+    def exit_code(self) -> int:
+        return EXIT_OK if self.ok else EXIT_REGRESSION
+
+    def to_dict(self) -> dict:
+        return {
+            "status": "pass" if self.ok else "fail",
+            "max_cpus": self.max_cpus,
+            "golden": {
+                "status": "pass" if self.golden_ok else "fail",
+                "items": [i.to_dict() for i in self.items],
+            },
+            "invariants": [r.to_dict() for r in self.invariants],
+            "fuzz": self.fuzz,
+        }
+
+    # -- human rendering -----------------------------------------------------
+
+    def summary(self, max_failures: int = 10) -> str:
+        lines: list[str] = []
+        if self.items:
+            n_ok = sum(1 for i in self.items if i.status == OK)
+            n_unc = sum(1 for i in self.items if i.status == UNCOVERED)
+            cells = sum(len(i.cells) for i in self.items)
+            worst = max((i.worst_rel_err or 0.0) for i in self.items)
+            head = (f"golden gate: {n_ok}/{len(self.items)} items ok"
+                    f" ({cells} cells, worst rel err {worst:.3g})")
+            if n_unc:
+                head += f"; {n_unc} uncovered at this scale"
+            lines.append(head)
+            for item in self.items:
+                if item.status == OK:
+                    continue
+                if item.status == UNCOVERED:
+                    lines.append(f"  {item.item_id:<8s} uncovered"
+                                 f" ({item.detail or 'requires full-range run'})")
+                    continue
+                bad = item.failed_cells
+                lines.append(
+                    f"  {item.item_id:<8s} FAIL {len(bad)}/{len(item.cells)}"
+                    f" cells; worst rel err "
+                    f"{item.worst_rel_err if item.worst_rel_err is not None else float('nan'):.3g}"
+                )
+                for c in bad[:max_failures]:
+                    loc = f"{c.series}[{c.index}].{c.column}"
+                    err = (f" rel_err {c.rel_err:.3g}"
+                           if c.rel_err is not None else "")
+                    lines.append(f"    {loc}: expected {c.expected!r}, "
+                                 f"got {c.actual!r}{err}")
+                if len(bad) > max_failures:
+                    lines.append(f"    ... and {len(bad) - max_failures} more")
+                for a in item.broken_anchors:
+                    lines.append(f"    paper anchor broken: {a}")
+        if self.invariants:
+            n_pass = sum(1 for r in self.invariants if r.passed)
+            lines.append(f"invariants: {n_pass}/{len(self.invariants)} passed")
+            for r in self.invariants:
+                if not r.passed:
+                    lines.append(f"  {r.name} FAILED: {r.detail}")
+        if self.fuzz is not None:
+            n = self.fuzz.get("configs", 0)
+            fails = self.fuzz.get("failures", [])
+            lines.append(f"fuzz: {n} configs, {len(fails)} failures "
+                         f"(seed {self.fuzz.get('seed')})")
+            for f in fails[:max_failures]:
+                lines.append(f"  config #{f['index']}: "
+                             f"{'; '.join(f['violations'])}")
+                if f.get("shrunk"):
+                    lines.append(f"    shrunk to: {f['shrunk']}")
+        lines.append("VALIDATION " + ("PASSED" if self.ok else "FAILED"))
+        return "\n".join(lines)

@@ -56,3 +56,47 @@ def test_hpcc_cli_hpl_only(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "G-HPL" in out and "% of peak" in out
+
+
+# -- harness output-path validation (fails fast, before any simulation) -----------
+
+
+def test_harness_metrics_path_is_directory_usage_error(tmp_path, capsys):
+    from repro.harness.runner import main as runner_main
+
+    rc = runner_main(["--figure", "6", "--max-cpus", "4",
+                      "--metrics", str(tmp_path)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--metrics" in err and "directory" in err
+
+
+def test_harness_trace_dir_is_file_usage_error(tmp_path, capsys):
+    from repro.harness.runner import main as runner_main
+
+    f = tmp_path / "not_a_dir"
+    f.write_text("occupied")
+    rc = runner_main(["--figure", "6", "--max-cpus", "4",
+                      "--trace-dir", str(f)])
+    assert rc == 2
+    assert "--trace-dir" in capsys.readouterr().err
+
+
+def test_harness_metrics_parent_blocked_by_file_usage_error(tmp_path, capsys):
+    from repro.harness.runner import main as runner_main
+
+    blocker = tmp_path / "file"
+    blocker.write_text("occupied")
+    rc = runner_main(["--figure", "6", "--max-cpus", "4",
+                      "--metrics", str(blocker / "deep" / "m.json")])
+    assert rc == 2
+    assert "cannot create" in capsys.readouterr().err
+
+
+def test_harness_validate_report_path_checked_up_front(tmp_path, capsys):
+    from repro.harness.runner import main as runner_main
+
+    rc = runner_main(["--validate", "--figure", "6", "--max-cpus", "4",
+                      "--validate-report", str(tmp_path)])
+    assert rc == 2
+    assert "directory" in capsys.readouterr().err

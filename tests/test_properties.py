@@ -322,3 +322,70 @@ def test_put_get_roundtrip_property(p, nbytes, seed):
     out = run_ranks(M, p, prog)
     reader = 2 % p
     assert np.array_equal(out.results[reader], data)
+
+
+# -- metrics registry (validation-gate dependencies) -------------------------------
+
+
+@given(st.integers(-60, 60))
+def test_log2_bucket_exact_powers_land_in_own_bucket(e):
+    """2**(e-1) < v <= 2**e: an exact power of two is its bucket's top."""
+    from repro.obs.metrics import log2_bucket
+
+    assert log2_bucket(2.0 ** e) == e
+    assert log2_bucket(2.0 ** e * 1.0000001) == e + 1
+
+
+@given(st.floats(min_value=1e-15, max_value=1e15))
+def test_log2_bucket_brackets_every_value(v):
+    from repro.obs.metrics import log2_bucket
+
+    e = log2_bucket(v)
+    assert 2.0 ** (e - 1) < v <= 2.0 ** e
+
+
+@st.composite
+def _snapshots(draw):
+    names = st.sampled_from(["a.x", "a.y", "b.z"])
+    reg_ops = draw(st.lists(
+        st.tuples(st.sampled_from(["counter", "gauge", "hist"]), names,
+                  st.floats(0, 1e6, allow_nan=False)),
+        max_size=12))
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry(enabled=True)
+    for kind, name, v in reg_ops:
+        if kind == "counter":
+            reg.counter(name).inc(v)
+        elif kind == "gauge":
+            reg.gauge(name).set_max(v)
+        else:
+            reg.histogram(name).observe(v)
+    return reg.snapshot()
+
+
+@given(_snapshots(), _snapshots())
+def test_metrics_merge_commutes(snap_a, snap_b):
+    """Fan-in order cannot change merged metrics (exact float equality:
+    counters add at most two terms per name, and a + b == b + a)."""
+    from repro.obs.metrics import merge_snapshots
+
+    assert merge_snapshots([snap_a, snap_b]) == \
+        merge_snapshots([snap_b, snap_a])
+
+
+@given(_snapshots())
+def test_metrics_merge_empty_is_identity(snap):
+    from repro.obs.metrics import MetricsRegistry, merge_snapshots
+
+    empty = MetricsRegistry(enabled=True).snapshot()
+    assert merge_snapshots([snap, empty]) == merge_snapshots([snap])
+    assert merge_snapshots([empty, snap]) == merge_snapshots([snap])
+
+
+@given(st.integers(0, 4096), st.integers(1, 64))
+def test_split_payload_sizes_match_balanced_split(n, parts):
+    """The array splitter and the byte accountant agree on distribution."""
+    data = np.arange(n, dtype=np.float64)
+    chunks = split_payload(data, parts)
+    assert [len(c) for c in chunks] == balanced_split(n, parts)

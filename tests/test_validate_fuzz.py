@@ -1,0 +1,152 @@
+"""Config fuzzer: determinism, battery soundness, shrinker minimality."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.validate.__main__ import main as validate_main
+from repro.validate.fuzz import (
+    FuzzCase,
+    base_machine,
+    build_machine,
+    check_case,
+    run_fuzz,
+    sample_case,
+    shrink,
+)
+
+REPO = Path(__file__).parents[1]
+
+
+# -- determinism ------------------------------------------------------------------
+
+def test_same_seed_same_configs_same_verdicts():
+    a = run_fuzz(seed=7, n_configs=8)
+    b = run_fuzz(seed=7, n_configs=8)
+    assert a.to_dict() == b.to_dict()
+    assert [v.case for v in a.verdicts] == [v.case for v in b.verdicts]
+
+
+def test_different_seeds_sample_different_configs():
+    a = run_fuzz(seed=1, n_configs=8)
+    b = run_fuzz(seed=2, n_configs=8)
+    assert [v.case.perturbations for v in a.verdicts] != \
+           [v.case.perturbations for v in b.verdicts]
+
+
+def test_case_roundtrips_through_dict():
+    import random
+
+    case = sample_case(random.Random(5), seed=5, index=3)
+    assert FuzzCase.from_dict(case.to_dict()) == case
+
+
+# -- the battery on real configs --------------------------------------------------
+
+def test_battery_passes_on_sampled_configs():
+    report = run_fuzz(seed=42, n_configs=10)
+    assert report.ok, [v.to_dict() for v in report.failures]
+    assert report.configs == 10
+    assert report.to_dict()["passed"] == 10
+
+
+def test_baseline_machine_is_valid_and_passes():
+    case = FuzzCase(seed=0, index=0, perturbations=())
+    assert build_machine(case) == base_machine()
+    verdict = check_case(case)
+    assert verdict.passed, verdict.violations
+
+
+def test_spec_perturbations_apply_and_clamp():
+    case = FuzzCase(seed=0, index=0, perturbations=(
+        ("network.link_gbs", 2.0),
+        ("node.cpus", 4),
+        ("node.shm_flow_gbs", 4.0),   # pushes flow past the node aggregate
+        ("topology", "fattree"),
+    ))
+    m = build_machine(case)
+    base = base_machine()
+    assert m.network.link_gbs == pytest.approx(base.network.link_gbs * 2.0)
+    assert m.node.cpus == 4
+    # Clamped back into validity instead of raising.
+    assert m.node.shm_node_gbs >= m.node.shm_flow_gbs
+    assert m.network.topology_kind == "fattree"
+    assert m.network.group_sizes  # fattree needs group sizes
+
+
+def test_fault_perturbations_slow_the_machine_down():
+    clean = FuzzCase(seed=0, index=0, perturbations=())
+    # slow_node degrades node 0's NIC and shm; a bandwidth-bound message
+    # between its two ranks must get slower.
+    faulty = FuzzCase(seed=0, index=0, perturbations=(
+        ("fault.slow_node", 4.0),))
+    from repro.mpi.cluster import Cluster
+    from repro.validate.fuzz import _pingpong_prog, fabric_setup_for
+
+    m = build_machine(clean)
+    t_clean = Cluster(m, 2).run(_pingpong_prog, 1 << 20).results[0]
+    t_faulty = Cluster(m, 2).run(
+        _pingpong_prog, 1 << 20,
+        fabric_setup=fabric_setup_for(faulty)).results[0]
+    assert t_faulty > t_clean
+
+
+# -- shrinking --------------------------------------------------------------------
+
+def _synthetic_checks(machine, case):
+    """Fails iff BOTH a slow link and a slow shm latency are present."""
+    lk = case.get("network.link_gbs")
+    sl = case.get("node.shm_latency_us")
+    if lk is not None and lk < 0.5 and sl is not None and sl > 2:
+        return ["synthetic failure"]
+    return []
+
+
+def test_shrinker_reaches_minimal_failing_set():
+    case = FuzzCase(seed=0, index=0, perturbations=(
+        ("fault.extra_latency_us", 5.0),
+        ("network.link_gbs", 0.3),
+        ("node.shm_latency_us", 3.0),
+        ("processor.peak_gflops", 2.0),
+    ))
+    assert not check_case(case, _synthetic_checks).passed
+    small = shrink(case, _synthetic_checks)
+    assert dict(small.perturbations) == {
+        "network.link_gbs": 0.3, "node.shm_latency_us": 3.0}
+    # 1-minimality: removing either remaining perturbation makes it pass.
+    for key, _ in small.perturbations:
+        assert check_case(small.without(key), _synthetic_checks).passed
+
+
+def test_shrunk_failures_reported_with_replay_line():
+    report = run_fuzz(seed=3, n_configs=4, checks=_synthetic_checks)
+    doc = report.to_dict()
+    for failure in doc["failures"]:
+        assert failure["replay"] == "--fuzz 4 --fuzz-seed 3"
+        assert set(failure["shrunk"]) <= set(failure["perturbations"])
+
+
+# -- CLI --------------------------------------------------------------------------
+
+def test_validate_cli_fuzz_only(tmp_path, capsys):
+    report_path = tmp_path / "fuzz.json"
+    rc = validate_main(["--skip-golden", "--skip-invariants",
+                        "--fuzz", "3", "--fuzz-seed", "1",
+                        "--report", str(report_path)])
+    assert rc == 0
+    assert report_path.exists()
+    out = capsys.readouterr().out
+    assert "fuzz: 3 configs, 0 failures (seed 1)" in out
+    assert "VALIDATION PASSED" in out
+
+
+def test_validate_cli_all_layers_disabled_is_usage_error(capsys):
+    rc = validate_main(["--skip-golden", "--skip-invariants"])
+    assert rc == 2
+    assert "every validation layer is disabled" in capsys.readouterr().err
+
+
+def test_validate_cli_unknown_figure_is_usage_error(capsys):
+    rc = validate_main(["--figure", "99"])
+    assert rc == 2
+    assert "unknown figure" in capsys.readouterr().err
