@@ -13,6 +13,8 @@ anchor from the outside.
 Run:  python examples/trace_analysis.py
 """
 
+from pathlib import Path
+
 import numpy as np
 
 from repro import Cluster, get_machine
@@ -47,7 +49,9 @@ def main() -> None:
     print(f"hottest pair:       rank {hot[0]} -> rank {hot[1]} "
           f"({report.comm_matrix[hot] / 1e6:.2f} MB)")
 
-    path = write_chrome_trace(cluster, "trace_xeon_alltoall.json")
+    out_dir = Path("traces")   # gitignored: generated artifacts stay out of git
+    out_dir.mkdir(exist_ok=True)
+    path = write_chrome_trace(cluster, out_dir / "trace_xeon_alltoall.json")
     print(f"\nChrome trace written to {path} "
           "(open in chrome://tracing or ui.perfetto.dev)")
 

@@ -23,7 +23,9 @@ from collections.abc import Sequence
 from time import perf_counter
 from typing import Any
 
+from ..obs.commviz import get_commviz
 from ..obs.metrics import get_metrics
+from ..obs.timeline import get_timeline
 from .cache import ResultCache
 from .points import SimPoint
 from .worker import PointRecord, compute_point, init_worker_metrics
@@ -69,7 +71,8 @@ class SweepExecutor:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=init_worker_metrics,
-                initargs=(get_metrics().enabled,),
+                initargs=(get_metrics().enabled, get_commviz().enabled,
+                          get_timeline().enabled),
             )
         return self._pool
 
@@ -92,8 +95,16 @@ class SweepExecutor:
         records: list[PointRecord | None] = [None] * len(points)
         misses: list[tuple[int, SimPoint]] = []
         fresh_idx: set[int] = set()
+        comm_on = get_commviz().enabled
+        tl_on = get_timeline().enabled
         for i, pt in enumerate(points):
             rec = self.cache.get(pt) if self.cache is not None else None
+            if rec is not None and ((comm_on and rec.comm is None)
+                                    or (tl_on and rec.timeline is None)):
+                # Cached before comm/timeline collection was switched on:
+                # recompute so the report never shows an empty matrix for
+                # work that did run.  The refreshed record replaces it.
+                rec = None
             if rec is not None:
                 records[i] = rec
             else:
@@ -124,15 +135,23 @@ class SweepExecutor:
     def _observe(self, points: Sequence[SimPoint],
                  records: Sequence[PointRecord],
                  fresh_idx: set[int]) -> None:
-        """Provenance log + metrics fan-in for one batch.
+        """Provenance log + metrics/comm/timeline fan-in for one batch.
 
         Only freshly computed points merge their simulation metrics into
         the ambient registry — a cached point's engine events were *not*
         executed this run, and counting them would make ``engine.events``
         disagree with reality.  Cached points are visible instead through
         ``cache.hits`` and their ``provenance`` tag.
+
+        Comm matrices and timelines are the opposite case: they are pure
+        virtual-time facts of the simulated run, identical whether the
+        point was recomputed or replayed from the cache, so *every*
+        point's snapshot merges — in input order, which is what makes
+        serial, parallel, and cache-warm sweeps byte-identical.
         """
         registry = get_metrics()
+        commrec = get_commviz()
+        tlrec = get_timeline()
         for i, pt in enumerate(points):
             rec = records[i]
             fresh = i in fresh_idx
@@ -146,6 +165,10 @@ class SweepExecutor:
                 registry.histogram("exec.point_wall_s").observe(rec.wall_s)
                 if rec.metrics is not None:
                     registry.merge(rec.metrics)
+            if commrec.enabled and rec.comm is not None:
+                commrec.merge(rec.comm)
+            if tlrec.enabled and rec.timeline is not None:
+                tlrec.merge(rec.timeline)
         if registry.enabled:
             n_fresh = len(fresh_idx)
             registry.counter("exec.points").inc(len(points))

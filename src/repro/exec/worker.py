@@ -13,12 +13,20 @@ re-running anything.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
 from ..core.engine import EVENT_STATS
+from ..obs.commviz import CommRecorder, get_commviz, set_commviz, using_commviz
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics, using_metrics
+from ..obs.timeline import (
+    TimelineRecorder,
+    get_timeline,
+    set_timeline,
+    using_timeline,
+)
 from ..hpcc import RingConfig, hpl_model_time, run_hpcc, run_ring, run_stream
 from ..hpcc.suite import scaled_config
 from ..imb.framework import PAPER_MSG_BYTES
@@ -36,25 +44,36 @@ class PointRecord:
     meaningful perf trajectory.  ``metrics`` is a per-point registry
     snapshot (see :mod:`repro.obs.metrics`), captured only when metrics
     were enabled at computation time; the executor merges fresh points'
-    snapshots into the ambient registry in input order.
+    snapshots into the ambient registry in input order.  ``comm`` and
+    ``timeline`` are commviz/timeline snapshots of the same point — pure
+    virtual-time facts, so unlike host-side metrics they are merged for
+    cached points too (a cache hit replays the same traffic the original
+    simulation produced).
     """
 
     value: Any
     wall_s: float
     events: int
     metrics: dict | None = None
+    comm: dict | None = None
+    timeline: dict | None = None
 
 
-def init_worker_metrics(enabled: bool) -> None:
-    """Process-pool initializer: mirror the parent's metrics switch.
+def init_worker_metrics(enabled: bool, comm: bool = False,
+                        timeline: bool = False) -> None:
+    """Process-pool initializer: mirror the parent's observability switches.
 
-    Worker processes start with the shared disabled registry; when the
-    parent harness runs with metrics on, each worker gets its own
-    enabled registry so :func:`compute_point` collects per-point
+    Worker processes start with the shared disabled registry/recorders;
+    when the parent harness runs with them on, each worker gets its own
+    enabled instances so :func:`compute_point` collects per-point
     snapshots for the deterministic fan-in merge.
     """
     if enabled:
         set_metrics(MetricsRegistry(enabled=True))
+    if comm:
+        set_commviz(CommRecorder(enabled=True))
+    if timeline:
+        set_timeline(TimelineRecorder(enabled=True))
 
 
 def _ring_hpl(point: SimPoint) -> tuple[float, float]:
@@ -108,30 +127,61 @@ _COMPUTE = {
 }
 
 
+def point_phase(point: SimPoint) -> str:
+    """Commviz/timeline phase name for one point.
+
+    ``imb`` points carry the benchmark name (``imb:xeon:Alltoall``) so
+    every IMB figure reads back as its own traffic pattern; everything
+    else is ``kind:machine``.
+    """
+    bench = point.param("benchmark")
+    base = f"{point.kind}:{point.machine}"
+    return f"{base}:{bench}" if bench else base
+
+
 def compute_point(point: SimPoint) -> PointRecord:
     """Compute one simulation point; safe to call in any process.
 
-    When the ambient metrics registry is enabled, the point runs under a
-    fresh child registry whose snapshot travels back in the record —
-    per-point isolation is what makes the parallel fan-in merge equal to
-    a serial run, and lets cached points carry their original metrics.
+    When the ambient metrics registry (or commviz/timeline recorder) is
+    enabled, the point runs under fresh child instances whose snapshots
+    travel back in the record — per-point isolation is what makes the
+    parallel fan-in merge equal to a serial run, and lets cached points
+    carry their original observations.
     """
     try:
         fn = _COMPUTE[point.kind]
     except KeyError:
         raise ValueError(f"unknown simulation point kind {point.kind!r}") from None
     collect = get_metrics().enabled
+    comm_on = get_commviz().enabled
+    tl_on = get_timeline().enabled
     ev0 = EVENT_STATS["processed"]
     t0 = perf_counter()
-    if collect:
-        child = MetricsRegistry(enabled=True)
-        with using_metrics(child):
+    snapshot = comm_snap = tl_snap = None
+    if collect or comm_on or tl_on:
+        child = commrec = tlrec = None
+        with contextlib.ExitStack() as stack:
+            if collect:
+                child = MetricsRegistry(enabled=True)
+                stack.enter_context(using_metrics(child))
+            if comm_on:
+                commrec = CommRecorder(enabled=True)
+                commrec.set_phase(point_phase(point))
+                stack.enter_context(using_commviz(commrec))
+            if tl_on:
+                tlrec = TimelineRecorder(enabled=True)
+                tlrec.set_phase(point_phase(point))
+                stack.enter_context(using_timeline(tlrec))
             value = fn(point)
-        snapshot = child.snapshot()
+        if child is not None:
+            snapshot = child.snapshot()
+        if commrec is not None:
+            comm_snap = commrec.snapshot()
+        if tlrec is not None:
+            tl_snap = tlrec.snapshot()
     else:
         value = fn(point)
-        snapshot = None
     wall = perf_counter() - t0
     return PointRecord(value=value, wall_s=wall,
                        events=EVENT_STATS["processed"] - ev0,
-                       metrics=snapshot)
+                       metrics=snapshot, comm=comm_snap, timeline=tl_snap)

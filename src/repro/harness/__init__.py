@@ -1,5 +1,12 @@
 """Experiment harness: regenerate the paper's tables and figures."""
 
+from .dashboard import (
+    REPORT_SCHEMA_VERSION,
+    build_run_doc,
+    read_report_doc,
+    render_html,
+    write_report,
+)
 from .figures import (
     ALL_FIGURES,
     FLAGSHIP_CPUS,
@@ -66,4 +73,6 @@ __all__ = [
     "message_size_sweep", "size_sweep_figure", "sweep_sizes",
     "onesided_comparison", "sequel_study",
     "save_figure", "save_table",
+    "REPORT_SCHEMA_VERSION", "build_run_doc", "read_report_doc",
+    "render_html", "write_report",
 ]

@@ -9,13 +9,20 @@ runs with ``--metrics`` / ``--trace-dir``, this module re-runs one
 * the HPCC balance figures (1-5) and tables replay the random-ring
   bandwidth pattern, the paper's own probe of network balance.
 
-Each traced run yields a :class:`~repro.obs.critical_path.CriticalPathReport`
-naming the dominant resource per machine, and (with ``--trace-dir``) a
-Chrome ``traceEvents`` JSON viewable in Perfetto.
+Each traced run yields an :class:`ObservedRun` — the
+:class:`~repro.obs.critical_path.CriticalPathReport` naming the dominant
+resource, a per-rank straggler profile, and the traced traffic totals —
+and (with ``--trace-dir``) a Chrome ``traceEvents`` JSON viewable in
+Perfetto.  When commviz/timeline recorders are installed (``--report``),
+the traced replay runs under the ``"<fig>:<machine>"`` phase, so the
+dashboard can show each figure's traffic matrix and utilisation
+timeline next to its verdict.
 """
 
 from __future__ import annotations
 
+import contextlib
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..hpcc.ring import RingConfig, ring_program
@@ -23,8 +30,10 @@ from ..imb.framework import PAPER_MSG_BYTES, get_benchmark
 from ..imb import suite as _imb_suite  # noqa: F401 - benchmark registration
 from ..machine import get_machine
 from ..mpi.cluster import Cluster
+from ..obs.commviz import get_commviz
 from ..obs.critical_path import CriticalPathReport, critical_path_report
 from ..obs.exporters import write_chrome_trace
+from ..obs.timeline import get_timeline, straggler_profile
 from .figures import HPCC_SWEEP_MACHINES, IMB_FIGURES, IMB_MACHINES
 
 #: Rank count for representative traced runs — large enough to exercise
@@ -33,23 +42,49 @@ from .figures import HPCC_SWEEP_MACHINES, IMB_FIGURES, IMB_MACHINES
 OBSERVE_RANKS = 16
 
 
+@dataclass(frozen=True)
+class ObservedRun:
+    """One traced representative run, fully digested."""
+
+    report: CriticalPathReport
+    straggler: dict       # see repro.obs.timeline.straggler_profile
+    traffic: dict         # message_count / total_bytes / inter_node_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "critical_path": self.report.to_dict(),
+            "straggler": self.straggler,
+            "traffic": self.traffic,
+        }
+
+
 def _observe_cluster(fig_id: str, machine_name: str,
                      max_cpus: int | None) -> Cluster:
-    """Run the figure's representative program traced; return the cluster."""
+    """Run the figure's representative program traced; return the cluster.
+
+    The run executes under the ``"<fig>:<machine>"`` commviz/timeline
+    phase when those recorders are installed, so its traffic and busy
+    intervals land in a phase the dashboard can name.
+    """
     machine = get_machine(machine_name)
     cap = machine.max_cpus if max_cpus is None else min(max_cpus,
                                                        machine.max_cpus)
     nprocs = max(2, min(OBSERVE_RANKS, cap))
-    if fig_id in IMB_FIGURES:
-        bench_name, _fld, _ylabel = IMB_FIGURES[fig_id]
-        bench = get_benchmark(bench_name)
-        nprocs = max(nprocs, bench.min_procs)
-        msg_bytes = 0 if bench_name == "Barrier" else PAPER_MSG_BYTES
-        cluster = Cluster(machine, nprocs, trace=True)
-        cluster.run(bench.program, msg_bytes, 1)
-    else:
-        cluster = Cluster(machine, nprocs, trace=True)
-        cluster.run(ring_program, RingConfig(n_rings=1))
+    tag = f"{fig_id}:{machine_name}"
+    commrec, tlrec = get_commviz(), get_timeline()
+    comm_ctx = commrec.phase(tag) if commrec.enabled else contextlib.nullcontext()
+    tl_ctx = tlrec.phase(tag) if tlrec.enabled else contextlib.nullcontext()
+    with comm_ctx, tl_ctx:
+        if fig_id in IMB_FIGURES:
+            bench_name, _fld, _ylabel = IMB_FIGURES[fig_id]
+            bench = get_benchmark(bench_name)
+            nprocs = max(nprocs, bench.min_procs)
+            msg_bytes = 0 if bench_name == "Barrier" else PAPER_MSG_BYTES
+            cluster = Cluster(machine, nprocs, trace=True)
+            cluster.run(bench.program, msg_bytes, 1)
+        else:
+            cluster = Cluster(machine, nprocs, trace=True)
+            cluster.run(ring_program, RingConfig(n_rings=1))
     return cluster
 
 
@@ -61,25 +96,34 @@ def observe_figure(
     fig_id: str,
     max_cpus: int | None = None,
     trace_dir: str | Path | None = None,
-) -> dict[str, CriticalPathReport]:
-    """Per-machine critical-path reports (and traces) for one figure."""
-    reports: dict[str, CriticalPathReport] = {}
+) -> dict[str, ObservedRun]:
+    """Per-machine observed runs (and traces) for one figure."""
+    runs: dict[str, ObservedRun] = {}
     for name in _machines_for(fig_id):
         cluster = _observe_cluster(fig_id, name, max_cpus)
-        reports[name] = critical_path_report(cluster)
+        tracer = cluster.tracer
+        runs[name] = ObservedRun(
+            report=critical_path_report(cluster),
+            straggler=straggler_profile(tracer, cluster.nprocs),
+            traffic={
+                "message_count": tracer.message_count,
+                "total_bytes": tracer.total_bytes,
+                "inter_node_bytes": tracer.inter_node_bytes,
+            },
+        )
         if trace_dir is not None:
             out = Path(trace_dir)
             out.mkdir(parents=True, exist_ok=True)
             write_chrome_trace(cluster, out / f"{fig_id}_{name}.json")
-    return reports
+    return runs
 
 
 def observe_figures(
     fig_ids: list[str],
     max_cpus: int | None = None,
     trace_dir: str | Path | None = None,
-) -> dict[str, dict[str, CriticalPathReport]]:
-    """``{fig_id: {machine: report}}`` for every requested figure."""
+) -> dict[str, dict[str, ObservedRun]]:
+    """``{fig_id: {machine: observed_run}}`` for every requested figure."""
     return {
         fig_id: observe_figure(fig_id, max_cpus=max_cpus,
                                trace_dir=trace_dir)

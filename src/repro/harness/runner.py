@@ -21,7 +21,15 @@ the run (engine/network/MPI/cache counters, merged deterministically
 across worker processes, plus per-point cache provenance and per-machine
 critical-path summaries); ``--trace-dir DIR`` additionally writes Chrome
 ``traceEvents`` files for representative traced runs — open them in
-``chrome://tracing`` or https://ui.perfetto.dev.
+``chrome://tracing`` or https://ui.perfetto.dev; ``--report out.html``
+renders communication matrices, utilisation timelines, span waterfalls,
+ledger trends, and the critical-path verdicts into one self-contained
+HTML file (see :mod:`repro.harness.dashboard`).
+
+Every run that produces items also appends a line to the run ledger
+(``BENCH_ledger.jsonl`` next to the bench stats file) — an append-only,
+schema-versioned performance history keyed by git SHA and the source
+fingerprint, with trailing-median regression flagging.
 """
 
 from __future__ import annotations
@@ -29,23 +37,42 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
+import time
 from pathlib import Path
 from time import perf_counter
 
-from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepExecutor, using_executor
+from ..exec import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    SweepExecutor,
+    source_fingerprint,
+    using_executor,
+)
 from ..obs import (
+    CommRecorder,
     MetricsRegistry,
+    RunLedger,
     SpanRecorder,
+    TimelineRecorder,
     format_critical_path,
+    git_sha,
+    run_key,
+    using_commviz,
     using_metrics,
+    using_timeline,
     write_spans_chrome_trace,
 )
+from .dashboard import build_run_doc, write_report
 from .figures import ALL_FIGURES
 from .observe import observe_figures
 from .plot import render_ascii_plot
 from .report import render_figure, render_table, save_figure, save_table
 from .tables import ALL_TABLES
+
+#: Bump when the BENCH_harness.json layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
 
 
 def _norm_fig(arg: str) -> str:
@@ -160,6 +187,15 @@ def main(argv: list[str] | None = None) -> int:
                     help="write Chrome traceEvents JSON for one traced "
                          "representative run per (figure, machine) plus "
                          "the harness span tree (view in Perfetto)")
+    ap.add_argument("--report", default=None, metavar="PATH",
+                    help="render a self-contained HTML run report (comm "
+                         "matrices, utilisation timelines, span waterfall, "
+                         "ledger trends, critical-path verdicts) to PATH")
+    ap.add_argument("--ledger", default=None, metavar="PATH",
+                    help="run-ledger JSONL path (default: "
+                         "BENCH_ledger.jsonl next to the bench stats file)")
+    ap.add_argument("--no-ledger", action="store_true",
+                    help="skip appending this run to the run ledger")
     ap.add_argument("--validate", action="store_true",
                     help="regenerate the selected items (default: all) and "
                          "diff them against results/ under "
@@ -181,7 +217,8 @@ def main(argv: list[str] | None = None) -> int:
         tables = list(ALL_TABLES)
 
     err = check_output_paths(args.metrics, args.trace_dir,
-                             args.validate_report)
+                             args.validate_report, args.report,
+                             args.bench_json, args.ledger)
     if err is not None:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -209,6 +246,15 @@ def main(argv: list[str] | None = None) -> int:
         from ..core.errors import ConfigError
         from ..validate.gate import run_validation
 
+        # The ledger layer joins the gate whenever a ledger exists: an
+        # explicit --ledger path, or the default one next to the bench
+        # artifact.  Lenient unless REPRO_LEDGER_STRICT=1.
+        ledger_path: Path | None = (Path(args.ledger) if args.ledger
+                                    else _bench_path(args).with_name(
+                                        "BENCH_ledger.jsonl"))
+        if not ledger_path.exists():
+            ledger_path = None
+        strict = os.environ.get("REPRO_LEDGER_STRICT", "") == "1"
         explicit = bool(figures or tables)
         try:
             with using_executor(executor):
@@ -218,6 +264,8 @@ def main(argv: list[str] | None = None) -> int:
                     max_cpus=args.max_cpus,
                     jobs=executor.jobs,
                     report_path=args.validate_report,
+                    ledger_path=ledger_path,
+                    ledger_strict=strict,
                 )
         except ConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -228,11 +276,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.validate_report:
             print(f"[validation report -> {args.validate_report}]")
         return report.exit_code()
-    want_obs = args.metrics is not None or args.trace_dir is not None
+    want_obs = (args.metrics is not None or args.trace_dir is not None
+                or args.report is not None)
     registry = MetricsRegistry(enabled=True) if want_obs else None
+    commrec = CommRecorder(enabled=True) if want_obs else None
+    tlrec = TimelineRecorder(enabled=True) if want_obs else None
     spans = SpanRecorder()
     bench_items = []
     cp_reports: dict[str, dict] = {}
+    observed_doc: dict[str, dict] = {}
     t_run0 = perf_counter()
 
     def _snapshot():
@@ -255,10 +307,15 @@ def main(argv: list[str] | None = None) -> int:
             "spans": span.to_dict(),
         })
 
-    metrics_scope = (using_metrics(registry) if registry is not None
-                     else contextlib.nullcontext())
+    obs_scope = contextlib.ExitStack()
+    if registry is not None:
+        obs_scope.enter_context(using_metrics(registry))
+    if commrec is not None:
+        obs_scope.enter_context(using_commviz(commrec))
+    if tlrec is not None:
+        obs_scope.enter_context(using_timeline(tlrec))
     try:
-        with metrics_scope, using_executor(executor):
+        with obs_scope, using_executor(executor):
             for t in tables:
                 fn = ALL_TABLES[t]
                 before = _snapshot()
@@ -304,11 +361,15 @@ def main(argv: list[str] | None = None) -> int:
                                               trace_dir=args.trace_dir)
                 for fig_id, per_machine in reports.items():
                     cp_reports[fig_id] = {
-                        m: rep.to_dict() for m, rep in per_machine.items()
+                        m: run.report.to_dict()
+                        for m, run in per_machine.items()
+                    }
+                    observed_doc[fig_id] = {
+                        m: run.to_dict() for m, run in per_machine.items()
                     }
                     print(f"[critical path — {fig_id}]")
-                    for rep in per_machine.values():
-                        print(format_critical_path(rep))
+                    for run in per_machine.values():
+                        print(format_critical_path(run.report))
                     print()
     finally:
         executor.close()
@@ -338,6 +399,8 @@ def main(argv: list[str] | None = None) -> int:
             "histograms": snap["histograms"],
             "points": executor.point_log,
             "critical_path": cp_reports,
+            "comm": commrec.snapshot(),
+            "timeline": tlrec.snapshot(),
             "spans": spans.to_dicts(),
         }
         metrics_path = Path(args.metrics)
@@ -346,34 +409,95 @@ def main(argv: list[str] | None = None) -> int:
         metrics_path.write_text(json.dumps(metrics_doc, indent=1) + "\n")
         print(f"[metrics -> {metrics_path}]")
 
+    item_ids = tables + figures
+    sha = git_sha()
+    fingerprint = source_fingerprint()
+    harness_doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": sha,
+        "fingerprint": fingerprint,
+        "max_cpus": args.max_cpus,
+        "jobs": executor.jobs,
+        "cache": None if cache is None else str(cache.root),
+        "wall_s": round(wall_s, 6),
+    }
+    totals_doc = {**totals,
+                  "compute_wall_s": round(totals["compute_wall_s"], 6)}
+
     bench_path = _bench_path(args)
-    if bench_path is not None:
-        doc = {
-            "harness": {
-                "max_cpus": args.max_cpus,
-                "jobs": executor.jobs,
-                "cache": None if cache is None else str(cache.root),
-                "wall_s": round(wall_s, 6),
-            },
-            "totals": {**totals,
-                       "compute_wall_s": round(totals["compute_wall_s"], 6)},
-            "items": bench_items,
+    doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "harness": harness_doc,
+        "totals": totals_doc,
+        "items": bench_items,
+    }
+    bench_path.parent.mkdir(parents=True, exist_ok=True)
+    bench_path.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"[bench stats -> {bench_path}]")
+
+    ledger_info = None
+    if not args.no_ledger:
+        ledger_path = (Path(args.ledger) if args.ledger
+                       else bench_path.with_name("BENCH_ledger.jsonl"))
+        ledger = RunLedger(ledger_path)
+        key = run_key(item_ids, args.max_cpus)
+        entry = ledger.append({
+            "when": round(time.time(), 3),
+            "git_sha": sha,
+            "fingerprint": fingerprint,
+            "run_key": key,
+            "items": item_ids,
+            "max_cpus": args.max_cpus,
+            "jobs": executor.jobs,
+            "wall_s": round(wall_s, 6),
+            "points": totals["points"],
+            "cache_hits": totals["cache_hits"],
+            "cache_misses": totals["cache_misses"],
+            "events": totals["events"],
+            "events_per_s": (round(totals["events"] / wall_s)
+                             if wall_s > 0 else None),
+        })
+        verdict = ledger.check_regression(entry)
+        ledger_info = {
+            "path": str(ledger_path),
+            "entries": len(ledger.entries()),
+            "trend": ledger.trend(key, "wall_s", limit=30),
+            "regression": verdict,
         }
-        bench_path.parent.mkdir(parents=True, exist_ok=True)
-        bench_path.write_text(json.dumps(doc, indent=1) + "\n")
-        print(f"[bench stats -> {bench_path}]")
+        status = ("unchecked" if not verdict["checked"]
+                  else "ok" if verdict["ok"] else "REGRESSION")
+        print(f"[ledger -> {ledger_path} ({status}, "
+              f"{ledger_info['entries']} entries)]")
+        if verdict["checked"] and not verdict["ok"]:
+            for r in verdict["regressions"]:
+                print(f"  ledger regression: {r['field']} "
+                      f"{r['ratio']:.2f}x trailing median "
+                      f"({r['value']:.4g} vs {r['median']:.4g})",
+                      file=sys.stderr)
+
+    if args.report is not None:
+        run_doc = build_run_doc(
+            harness=harness_doc,
+            totals=totals_doc,
+            items=bench_items,
+            comm=commrec.snapshot(),
+            timeline=tlrec.snapshot(),
+            observed=observed_doc,
+            spans=spans.to_dicts(),
+            ledger=ledger_info,
+        )
+        report_path = write_report(run_doc, args.report)
+        print(f"[report -> {report_path}]")
     return 0
 
 
-def _bench_path(args) -> Path | None:
-    """Where to write BENCH_harness.json (None = skip)."""
+def _bench_path(args) -> Path:
+    """Where to write BENCH_harness.json (always written)."""
     if args.bench_json:
         return Path(args.bench_json)
     if args.out:
         return Path(args.out) / "BENCH_harness.json"
-    if args.all:
-        return Path("BENCH_harness.json")
-    return None
+    return Path("BENCH_harness.json")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from ..core.engine import Engine, Event
 from ..core.errors import MPIError
 from ..core.trace import MessageRecord, Tracer
 from ..network.netmodel import Fabric
+from ..obs.commviz import get_commviz
 from ..obs.metrics import get_metrics
 from .datatypes import ANY_SOURCE, ANY_TAG, RecvResult, copy_payload
 
@@ -109,6 +110,8 @@ class Transport:
         else:
             self._m_msgs = None
             self._m_bytes = None
+        commrec = get_commviz()
+        self._commrec = commrec if commrec.enabled else None
 
     # -- CPU bookkeeping -----------------------------------------------------
 
@@ -178,10 +181,13 @@ class Transport:
 
         src_node = self.placement[src]
         dst_node = self.placement[dst]
-        if self._m_msgs is not None:
+        if self._m_msgs is not None or self._commrec is not None:
             inter = src_node != dst_node
-            self._m_msgs[inter].inc()
-            self._m_bytes[inter].inc(nbytes)
+            if self._m_msgs is not None:
+                self._m_msgs[inter].inc()
+                self._m_bytes[inter].inc(nbytes)
+            if self._commrec is not None:
+                self._commrec.record(src, dst, nbytes, inter)
 
         if self.fabric.is_eager(nbytes) and not force_rendezvous:
             # Stage through a local bounce-buffer copy; the sender is free

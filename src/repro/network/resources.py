@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..core.errors import ConfigError
 from ..obs.metrics import MetricsRegistry
+from ..obs.timeline import get_timeline
 
 
 @dataclass(frozen=True)
@@ -28,22 +29,33 @@ class ResourceMetrics:
     per instance keeps metric cardinality independent of node count;
     per-instance ``busy_time``/``bytes_served`` stay on the resource
     itself for the critical-path analyser and the utilisation report.
+    When a timeline recorder is installed, the kind's busy intervals
+    additionally stream into its time-bucketed occupancy series.
     """
 
     queue_wait: object   # Histogram of seconds spent queued before service
     bytes: object        # Counter of bytes served
     busy_s: object       # Counter of busy (serving) virtual seconds
+    timeline: object | None = None  # TimelineSeries for this kind, or None
 
     @classmethod
     def for_kind(cls, registry: MetricsRegistry,
                  kind: str) -> "ResourceMetrics | None":
-        """Instruments under ``net.<kind>.*``, or None when disabled."""
-        if not registry.enabled:
+        """Instruments under ``net.<kind>.*``, or None when disabled.
+
+        The registry hands out no-op instruments when it is disabled, so
+        a timeline-only configuration still records busy intervals while
+        the counter/histogram calls stay free.
+        """
+        recorder = get_timeline()
+        series = recorder.series(kind) if recorder.enabled else None
+        if not registry.enabled and series is None:
             return None
         return cls(
             queue_wait=registry.histogram(f"net.{kind}.queue_wait"),
             bytes=registry.counter(f"net.{kind}.bytes"),
             busy_s=registry.counter(f"net.{kind}.busy_s"),
+            timeline=series,
         )
 
 
@@ -87,6 +99,8 @@ class BandwidthResource:
             m.queue_wait.observe(start - earliest)
             m.bytes.inc(nbytes)
             m.busy_s.inc(end - start)
+            if m.timeline is not None:
+                m.timeline.add(start, end, nbytes)
         return start, end
 
     def reset(self) -> None:

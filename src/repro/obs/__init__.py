@@ -14,12 +14,26 @@ the time it did:
   human-readable summary tables.
 * :mod:`repro.obs.critical_path` — walks the message/compute records of
   a traced run and reports which resource (compute, NIC, bisection,
-  shared memory, wire latency) dominates end-to-end time.
+  shared memory, wire latency) dominates end-to-end time, and when.
+* :mod:`repro.obs.commviz` — rank×rank message/byte matrices with
+  intra/inter-node splits, tagged by benchmark phase.
+* :mod:`repro.obs.timeline` — time-bucketed busy/occupancy series per
+  resource kind and per-rank straggler profiles.
+* :mod:`repro.obs.ledger` — append-only JSONL run history with trend
+  queries and trailing-median regression flagging.
 
 Nothing in this package imports the model layers at module level, so the
 core engine can import :mod:`repro.obs.metrics` without cycles.
 """
 
+from .commviz import (
+    CommRecorder,
+    PhaseMatrix,
+    get_commviz,
+    merge_comm_snapshots,
+    set_commviz,
+    using_commviz,
+)
 from .critical_path import (
     CriticalPathReport,
     PathSegment,
@@ -34,6 +48,7 @@ from .exporters import (
     write_ndjson,
     write_spans_chrome_trace,
 )
+from .ledger import LEDGER_SCHEMA_VERSION, RunLedger, git_sha, run_key
 from .metrics import (
     Counter,
     Gauge,
@@ -45,26 +60,52 @@ from .metrics import (
     using_metrics,
 )
 from .spans import Span, SpanRecorder, spans_from_tracer
+from .timeline import (
+    TimelineRecorder,
+    TimelineSeries,
+    get_timeline,
+    merge_timeline_snapshots,
+    set_timeline,
+    straggler_profile,
+    using_timeline,
+)
 
 __all__ = [
+    "CommRecorder",
     "Counter",
     "CriticalPathReport",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA_VERSION",
     "MetricsRegistry",
     "PathSegment",
+    "PhaseMatrix",
+    "RunLedger",
     "Span",
     "SpanRecorder",
+    "TimelineRecorder",
+    "TimelineSeries",
     "chrome_trace_events",
     "critical_path_report",
     "format_critical_path",
+    "get_commviz",
     "get_metrics",
+    "get_timeline",
+    "git_sha",
+    "merge_comm_snapshots",
     "merge_snapshots",
+    "merge_timeline_snapshots",
+    "run_key",
+    "set_commviz",
     "set_metrics",
+    "set_timeline",
     "spans_from_tracer",
     "spans_to_chrome_events",
+    "straggler_profile",
     "summary_table",
+    "using_commviz",
     "using_metrics",
+    "using_timeline",
     "write_chrome_trace",
     "write_ndjson",
     "write_spans_chrome_trace",

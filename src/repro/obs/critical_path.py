@@ -80,13 +80,34 @@ class CriticalPathReport:
         total = sum(v for k, v in self.breakdown.items()) or 1.0
         return self.breakdown.get(self.dominant, 0.0) / total
 
+    def kind_windows(self) -> dict[str, tuple[float, float]]:
+        """Per kind: the ``(first_start, last_end)`` span of its path
+        segments — *when* along the run each resource sat on the path."""
+        windows: dict[str, tuple[float, float]] = {}
+        for seg in self.segments:
+            w = windows.get(seg.kind)
+            if w is None:
+                windows[seg.kind] = (seg.t_start, seg.t_end)
+            else:
+                windows[seg.kind] = (min(w[0], seg.t_start),
+                                     max(w[1], seg.t_end))
+        return windows
+
+    def dominant_window(self) -> tuple[float, float] | None:
+        """When the dominant resource bound the run, or None if it never
+        appeared on the walked path (utilisation-only verdicts)."""
+        return self.kind_windows().get(self.dominant)
+
     def to_dict(self) -> dict:
+        win = self.dominant_window()
         return {
             "machine": self.machine,
             "nprocs": self.nprocs,
             "elapsed_us": self.elapsed * 1e6,
             "dominant": self.dominant,
             "dominant_share": round(self.dominant_share(), 4),
+            "dominant_window_us": (None if win is None
+                                   else [win[0] * 1e6, win[1] * 1e6]),
             "breakdown_us": {k: v * 1e6
                              for k, v in sorted(self.breakdown.items())},
             "utilisation": {k: round(v, 4)
@@ -221,11 +242,14 @@ def format_critical_path(report: CriticalPathReport) -> str:
         f"{k} {v * 100:.0f}%"
         for k, v in sorted(report.utilisation.items(), key=lambda kv: -kv[1])
     )
+    win = report.dominant_window()
+    when = ("" if win is None else
+            f", binding from {win[0] * 1e6:.1f} to {win[1] * 1e6:.1f} us")
     lines = [
         f"{report.machine} P={report.nprocs}: "
         f"{report.dominant} dominates the critical path "
         f"({report.dominant_share() * 100:.0f}% of "
-        f"{report.elapsed * 1e6:.1f} us end-to-end)",
+        f"{report.elapsed * 1e6:.1f} us end-to-end{when})",
         f"  path breakdown: {parts or 'n/a'}",
         f"  busiest instances: {util or 'n/a'}",
     ]

@@ -1,0 +1,156 @@
+"""Append-only JSONL run ledger: performance history across commits.
+
+Every harness run appends one JSON line describing what ran (item
+names, CPU cap), where the code stood (git SHA, source fingerprint from
+the exec cache), and how fast it went (wall seconds, engine events/s,
+cache hits).  The file is append-only and schema-versioned, so the
+bench trajectory of the repository accumulates run over run and trend
+queries stay cheap — read, filter by ``run_key``, plot.
+
+Regression flagging compares a fresh entry against the **trailing
+median** of earlier entries with the same ``run_key`` (same work, same
+cap); the median makes a single noisy CI runner harmless, and nothing
+is flagged until :data:`MIN_HISTORY` comparable runs exist.  Host wall
+time is inherently noisy, so the default tolerance is generous and the
+validation gate treats a flag as a warning unless strict mode is on.
+
+Malformed lines (truncated writes, merge scars) are skipped and
+counted, never fatal — history files outlive bugs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+
+#: Bump when the entry layout changes incompatibly.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Comparable runs required before regression flagging switches on.
+MIN_HISTORY = 3
+
+#: Default drift tolerance vs the trailing median (0.5 = 50% slower).
+DEFAULT_TOLERANCE = 0.5
+
+
+def git_sha(repo_dir: str | Path | None = None) -> str:
+    """Short git SHA of ``repo_dir`` (or cwd); ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(repo_dir) if repo_dir is not None else None,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_key(items: list[str], max_cpus: int | None) -> str:
+    """Stable key for "the same work": item names + CPU cap."""
+    blob = json.dumps({"items": sorted(items), "max_cpus": max_cpus},
+                      sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def _median(values: list[float]) -> float:
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+class RunLedger:
+    """One append-only JSONL history file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.skipped = 0  # malformed lines seen by the last entries() call
+
+    def append(self, entry: dict) -> dict:
+        """Stamp ``schema_version`` and append one line; returns the line."""
+        stamped = {"schema_version": LEDGER_SCHEMA_VERSION, **entry}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(stamped, sort_keys=True) + "\n")
+        return stamped
+
+    def entries(self) -> list[dict]:
+        """All well-formed entries, oldest first; malformed lines skipped."""
+        self.skipped = 0
+        out: list[dict] = []
+        if not self.path.exists():
+            return out
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                self.skipped += 1
+                continue
+            if not isinstance(entry, dict) or "schema_version" not in entry:
+                self.skipped += 1
+                continue
+            out.append(entry)
+        return out
+
+    # -- trend queries --------------------------------------------------------
+
+    def trend(self, key: str, field: str = "wall_s",
+              limit: int | None = None) -> list[tuple[str, float]]:
+        """``(git_sha, value)`` pairs for one run_key, oldest first."""
+        rows = [
+            (e.get("git_sha", "unknown"), float(e[field]))
+            for e in self.entries()
+            if e.get("run_key") == key and isinstance(e.get(field), (int, float))
+        ]
+        return rows[-limit:] if limit else rows
+
+    def check_regression(self, entry: dict, *,
+                         tolerance: float = DEFAULT_TOLERANCE) -> dict:
+        """Compare ``entry`` against the trailing median of its run_key.
+
+        Flags ``wall_s`` drifting *slower* and ``events_per_s`` drifting
+        *lower* beyond ``tolerance``; improvements never flag.  Returns
+        ``{"checked", "history", "regressions", "ok"}`` — ``checked`` is
+        False (and ``ok`` True) until :data:`MIN_HISTORY` prior entries
+        with the same key exist.
+        """
+        key = entry.get("run_key")
+        prior = [e for e in self.entries()
+                 if e.get("run_key") == key and e is not entry]
+        # The entry under test may already be appended; drop one identical
+        # trailing line so a run never competes with itself.
+        if prior and prior[-1] == {"schema_version": LEDGER_SCHEMA_VERSION,
+                                   **entry}:
+            prior = prior[:-1]
+        verdict: dict = {"checked": False, "history": len(prior),
+                         "regressions": [], "ok": True}
+        if len(prior) < MIN_HISTORY:
+            return verdict
+        verdict["checked"] = True
+        for field, worse_is_bigger in (("wall_s", True),
+                                       ("events_per_s", False)):
+            value = entry.get(field)
+            hist = [float(e[field]) for e in prior
+                    if isinstance(e.get(field), (int, float))]
+            if not isinstance(value, (int, float)) or len(hist) < MIN_HISTORY:
+                continue
+            med = _median(hist)
+            if med <= 0:
+                continue
+            ratio = float(value) / med
+            bad = ratio > 1 + tolerance if worse_is_bigger \
+                else ratio < 1 / (1 + tolerance)
+            if bad:
+                verdict["regressions"].append({
+                    "field": field, "value": float(value),
+                    "median": med, "ratio": round(ratio, 4),
+                })
+        verdict["ok"] = not verdict["regressions"]
+        return verdict

@@ -17,7 +17,7 @@ invariants, shares the harness's executor flags) and
 ``python -m repro.validate`` (adds ``--fuzz``/``--fuzz-seed`` replay).
 """
 
-from .gate import run_validation
+from .gate import check_ledger, run_validation
 from .golden import clear_figure_caches, compare_figure, compare_table, run_golden
 from .manifest import (
     Anchor,
@@ -48,6 +48,7 @@ __all__ = [
     "Manifest",
     "ToleranceRule",
     "ValidationReport",
+    "check_ledger",
     "clear_figure_caches",
     "compare_figure",
     "compare_table",

@@ -62,6 +62,12 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--fuzz-seed", type=int, default=0, metavar="S",
                     help="fuzzer seed; same seed -> same configs and "
                          "verdicts (default: %(default)s)")
+    ap.add_argument("--ledger", default=None, metavar="PATH",
+                    help="check the newest run-ledger entry against its "
+                         "trailing history (default: off)")
+    ap.add_argument("--ledger-strict", action="store_true",
+                    help="fail the gate on a ledger regression instead of "
+                         "warning (use on dedicated benchmarking hosts)")
     args = ap.parse_args(argv)
 
     try:
@@ -74,9 +80,10 @@ def main(argv: list[str] | None = None) -> int:
     if err is not None:
         print(f"error: {err}", file=sys.stderr)
         return EXIT_USAGE
-    if args.skip_golden and args.skip_invariants and args.fuzz <= 0:
+    if (args.skip_golden and args.skip_invariants and args.fuzz <= 0
+            and args.ledger is None):
         print("error: every validation layer is disabled "
-              "(--skip-golden --skip-invariants and no --fuzz)",
+              "(--skip-golden --skip-invariants, no --fuzz, no --ledger)",
               file=sys.stderr)
         return EXIT_USAGE
 
@@ -101,6 +108,8 @@ def main(argv: list[str] | None = None) -> int:
                 fuzz_seed=args.fuzz_seed,
                 jobs=executor.jobs,
                 report_path=args.report,
+                ledger_path=args.ledger,
+                ledger_strict=args.ledger_strict,
             )
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)

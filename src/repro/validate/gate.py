@@ -1,10 +1,16 @@
-"""The combined validation gate: golden + invariants + fuzz in one run.
+"""The combined validation gate: golden + invariants + fuzz + ledger.
 
 :func:`run_validation` is what both entry points call —
 ``python -m repro.harness --validate`` and ``python -m repro.validate``.
 It composes whichever layers the caller enabled into one
 :class:`~repro.validate.report.ValidationReport`, optionally writing the
 machine-readable artifact CI uploads.
+
+The ledger layer replays the run-ledger regression check (see
+:mod:`repro.obs.ledger`) on the newest ledger entry.  It is *lenient* by
+default — a wall-time drift on a shared CI runner prints a warning but
+does not fail the gate — and strict only when asked (``ledger_strict``),
+for dedicated benchmarking hosts where timing is trustworthy.
 """
 
 from __future__ import annotations
@@ -14,10 +20,33 @@ from pathlib import Path
 
 from ..harness.figures import ALL_FIGURES
 from ..harness.tables import ALL_TABLES
+from ..obs.ledger import RunLedger
 from .golden import run_golden
 from .manifest import load_manifest, manifest_path_for
 from .metamorphic import run_invariants
 from .report import ValidationReport
+
+
+def check_ledger(path: str | Path, *, strict: bool = False) -> dict:
+    """Digest one ledger file into the gate's ledger-layer dict."""
+    ledger = RunLedger(path)
+    entries = ledger.entries()
+    layer = {
+        "path": str(path),
+        "entries": len(entries),
+        "malformed": ledger.skipped,
+        "strict": strict,
+        "checked": False,
+        "regressions": [],
+        "ok": True,
+    }
+    if entries:
+        verdict = ledger.check_regression(entries[-1])
+        layer["checked"] = verdict["checked"]
+        layer["regressions"] = verdict["regressions"]
+        if strict and verdict["checked"] and not verdict["ok"]:
+            layer["ok"] = False
+    return layer
 
 
 def run_validation(
@@ -33,6 +62,8 @@ def run_validation(
     fuzz_seed: int = 0,
     jobs: int = 2,
     report_path: str | Path | None = None,
+    ledger_path: str | Path | None = None,
+    ledger_strict: bool = False,
 ) -> ValidationReport:
     """Run the enabled validation layers and collect one report.
 
@@ -57,6 +88,8 @@ def run_validation(
 
         report.fuzz = run_fuzz(seed=fuzz_seed,
                                n_configs=fuzz_configs).to_dict()
+    if ledger_path is not None:
+        report.ledger = check_ledger(ledger_path, strict=ledger_strict)
     if report_path is not None:
         path = Path(report_path)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -114,6 +114,7 @@ class ValidationReport:
     items: list[ItemReport] = field(default_factory=list)
     invariants: list[InvariantResult] = field(default_factory=list)
     fuzz: dict | None = None     # FuzzReport.to_dict(), when the fuzzer ran
+    ledger: dict | None = None   # run-ledger layer, when a ledger was checked
 
     @property
     def golden_ok(self) -> bool:
@@ -128,8 +129,16 @@ class ValidationReport:
         return self.fuzz is None or not self.fuzz.get("failures")
 
     @property
+    def ledger_ok(self) -> bool:
+        """Lenient by default: a perf drift only fails the gate when the
+        ledger layer ran in strict mode (wall time on shared CI runners
+        is too noisy to block merges on by default)."""
+        return self.ledger is None or self.ledger.get("ok", True)
+
+    @property
     def ok(self) -> bool:
-        return self.golden_ok and self.invariants_ok and self.fuzz_ok
+        return (self.golden_ok and self.invariants_ok and self.fuzz_ok
+                and self.ledger_ok)
 
     def exit_code(self) -> int:
         return EXIT_OK if self.ok else EXIT_REGRESSION
@@ -144,6 +153,7 @@ class ValidationReport:
             },
             "invariants": [r.to_dict() for r in self.invariants],
             "fuzz": self.fuzz,
+            "ledger": self.ledger,
         }
 
     # -- human rendering -----------------------------------------------------
@@ -199,5 +209,16 @@ class ValidationReport:
                              f"{'; '.join(f['violations'])}")
                 if f.get("shrunk"):
                     lines.append(f"    shrunk to: {f['shrunk']}")
+        if self.ledger is not None:
+            led = self.ledger
+            state = ("unchecked" if not led.get("checked")
+                     else "ok" if not led.get("regressions") else "drift")
+            mode = "strict" if led.get("strict") else "lenient"
+            lines.append(f"ledger: {led.get('entries', 0)} entries, "
+                         f"{state} ({mode})")
+            for r in led.get("regressions", []):
+                verdict = "FAILED" if led.get("strict") else "warning"
+                lines.append(f"  {verdict}: {r['field']} {r['ratio']:.2f}x "
+                             f"trailing median")
         lines.append("VALIDATION " + ("PASSED" if self.ok else "FAILED"))
         return "\n".join(lines)

@@ -214,7 +214,8 @@ def test_runner_cache_roundtrip_and_bench_json(tmp_path, capsys):
     assert {"wall_s", "points", "events_per_sec"} <= set(item)
 
 
-def test_runner_cache_clear_flag(tmp_path, capsys):
+def test_runner_cache_clear_flag(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # bench/ledger artifacts default to cwd
     cache_dir = tmp_path / "cache"
     base = ["--figure", "13", "--max-cpus", "4", "--cache-dir",
             str(cache_dir)]
@@ -224,7 +225,8 @@ def test_runner_cache_clear_flag(tmp_path, capsys):
     assert not cache_dir.exists()
 
 
-def test_runner_no_cache_flag(tmp_path, capsys):
+def test_runner_no_cache_flag(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
     cache_dir = tmp_path / "cache"
     rc = runner_main(["--figure", "13", "--max-cpus", "4", "--no-cache",
                       "--cache-dir", str(cache_dir)])

@@ -123,7 +123,8 @@ def test_save_figure_and_table(tmp_path: Path):
     assert (tmp_path / "table2.txt").read_text().startswith("System")
 
 
-def test_runner_cli_table(capsys):
+def test_runner_cli_table(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # bench/ledger artifacts default to cwd
     rc = runner_main(["--table", "2"])
     assert rc == 0
     out = capsys.readouterr().out
@@ -141,7 +142,8 @@ def test_runner_cli_no_args_shows_help(capsys):
     assert runner_main([]) == 2
 
 
-def test_runner_figure_id_normalisation(capsys):
+def test_runner_figure_id_normalisation(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
     rc = runner_main(["--figure", "fig06", "--max-cpus", "4"])
     assert rc == 0
 
@@ -171,7 +173,8 @@ def test_ascii_plot_empty_series():
     assert "no positive data" in render_ascii_plot(fig)
 
 
-def test_runner_cli_plot_flag(capsys):
+def test_runner_cli_plot_flag(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
     rc = runner_main(["--figure", "6", "--max-cpus", "4", "--plot"])
     assert rc == 0
     out = capsys.readouterr().out

@@ -71,3 +71,19 @@ def test_section5_fault_injection():
         barrier_bench,
         fabric_setup=lambda f: slow_node(f, node=7, factor=8.0)).results)
     assert hurt > clean
+
+
+def test_section7_read_a_run_report(tmp_path):
+    from repro.harness import read_report_doc
+    from repro.harness.runner import main as runner_main
+
+    report = tmp_path / "run.html"
+    rc = runner_main(["--figure", "6", "--max-cpus", "4", "--no-cache",
+                      "--report", str(report),
+                      "--bench-json", str(tmp_path / "bench.json"),
+                      "--no-ledger"])
+    assert rc == 0
+    doc = read_report_doc(report)
+    # the access pattern the tutorial shows
+    for machine, run in doc["observed"]["fig06"].items():
+        assert run["critical_path"]["dominant"], machine
