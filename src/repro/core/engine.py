@@ -1,8 +1,9 @@
 """Discrete-event simulation engine.
 
-The engine owns a virtual clock and a priority queue of scheduled
-callbacks.  Simulated activities (MPI ranks, benchmark drivers) are Python
-*generator processes* in the SimPy style: a process is a generator that
+The engine owns a virtual clock and a pending-event queue provided by a
+pluggable scheduler backend (:mod:`repro.core.sched`).  Simulated
+activities (MPI ranks, benchmark drivers) are Python *generator
+processes* in the SimPy style: a process is a generator that
 ``yield``\\ s one of
 
 * a ``float``/``int`` — sleep for that many virtual seconds,
@@ -17,19 +18,21 @@ Processes compose with plain ``yield from`` so higher layers (collectives,
 benchmarks) read like straight-line MPI code.
 
 The engine is single-threaded and fully deterministic: ties in the event
-queue are broken by insertion order.
+queue are broken by insertion order, under every backend.  Events are
+dispatched in *batches* — all events at one timestamp are drained in one
+inner loop, so the per-event cost of queue maintenance, clock updates and
+instrumentation is amortised over the tie width (large in the
+bulk-synchronous phases that dominate benchmark traffic).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections.abc import Callable, Generator, Iterable
-from heapq import heappop, heappush
 from typing import Any
 
 from ..obs.metrics import get_metrics
 from .errors import DeadlockError, SimulationError
+from .sched import SchedulerBackend, make_backend
 
 #: Type alias for process generators.
 ProcessGen = Generator[Any, Any, Any]
@@ -66,7 +69,9 @@ class Event:
         self.name = name
         self._triggered = False
         self._value: Any = None
-        self._waiters: list[Process] = []
+        # Lazily allocated: most events (send/recv completions) acquire
+        # at most one waiter, and many trigger before anyone waits.
+        self._waiters: list[Process] | None = None
 
     @property
     def triggered(self) -> bool:
@@ -84,18 +89,22 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self._triggered = True
         self._value = value
-        waiters, self._waiters = self._waiters, []
-        engine = self.engine
-        for proc in waiters:
-            heappush(engine._heap,
-                     (engine._now, next(engine._counter), proc._step, (value,)))
+        waiters = self._waiters
+        if waiters:
+            self._waiters = None
+            engine = self.engine
+            push = engine._push
+            now = engine._now
+            args = (value,)
+            for proc in waiters:
+                push(now, proc._step, args)
 
     def _add_waiter(self, proc: "Process") -> None:
         if self._triggered:
             engine = self.engine
-            heappush(engine._heap,
-                     (engine._now, next(engine._counter), proc._step,
-                      (self._value,)))
+            engine._push(engine._now, proc._step, (self._value,))
+        elif self._waiters is None:
+            self._waiters = [proc]
         else:
             self._waiters.append(proc)
 
@@ -144,9 +153,13 @@ class Process:
 
         Hot path: this runs once per event.  The dominant yields are plain
         ``float`` sleeps and ``None`` re-schedules, so those are dispatched
-        on exact type and pushed straight onto the heap with pre-bound
-        locals; ``Event``/``Process`` waits and int/float subclasses
-        (``bool``, numpy scalars) take the slower isinstance branches.
+        on exact type and pushed straight onto the scheduler backend with
+        pre-bound locals; ``Event``/``Process`` waits and int/float
+        subclasses (``bool``, numpy scalars) take the slower isinstance
+        branches.  Every raising exit — generator exception, negative
+        delay, unsupported yield — discards the process from the live set
+        first, so a caught error never leaves a ghost in the deadlock
+        report.
         """
         engine = self.engine
         try:
@@ -161,27 +174,26 @@ class Process:
         cls = item.__class__
         if cls is float or cls is int:
             if item < 0:
+                engine._live_processes.discard(self)
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {item!r}"
                 )
-            heappush(engine._heap,
-                     (engine._now + item, next(engine._counter),
-                      self._step, _STEP_ARGS))
+            engine._push(engine._now + item, self._step, _STEP_ARGS)
         elif item is None:
-            heappush(engine._heap,
-                     (engine._now, next(engine._counter),
-                      self._step, _STEP_ARGS))
+            engine._push(engine._now, self._step, _STEP_ARGS)
         elif isinstance(item, Event):
             item._add_waiter(self)
         elif isinstance(item, Process):
             item.done._add_waiter(self)
         elif isinstance(item, (int, float)):
             if item < 0:
+                engine._live_processes.discard(self)
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {item!r}"
                 )
             engine.schedule(float(item), self._step, None)
         else:
+            engine._live_processes.discard(self)
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value {item!r}"
             )
@@ -192,18 +204,34 @@ class Process:
 
 
 class Engine:
-    """The discrete-event scheduler and virtual clock."""
+    """The discrete-event scheduler and virtual clock.
 
-    def __init__(self) -> None:
+    ``backend`` selects the pending-event queue implementation: a
+    registered name (``"heapq"``, ``"calendar"``, ``"macro"``), a
+    :class:`~repro.core.sched.SchedulerBackend` instance, or ``None`` for
+    the process default (``--engine-backend`` flag /
+    ``REPRO_ENGINE_BACKEND`` env var, falling back to ``calendar``).
+    Execution order — and therefore every simulated result — is identical
+    under every exact backend.
+    """
+
+    def __init__(self, backend: str | SchedulerBackend | None = None) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
-        self._counter = itertools.count()
+        self._sched = make_backend(backend)
+        #: Raw absolute-time insert of the active backend.  The single
+        #: scheduling funnel: every event — sleeps, event wakeups, process
+        #: joins, transport callbacks — goes through this bound method, so
+        #: backend selection covers the whole event population.
+        self._push = self._sched.push
         self._live_processes: set[Process] = set()
         self._running = False
         #: Events executed by this engine across all run() calls.
         self.events_processed = 0
-        #: Largest heap size seen while running (only tracked when the
-        #: process-global metrics registry is enabled at construction).
+        #: Largest pending-queue size seen while running (only tracked when
+        #: the process-global metrics registry is enabled at construction).
+        #: Sampled once per dispatched batch — at the moment the batch is
+        #: taken, matching what a per-event loop would see at its first
+        #: pop of that timestamp.
         self.heap_high_water = 0
         self._metrics = get_metrics() if get_metrics().enabled else None
 
@@ -212,11 +240,16 @@ class Engine:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def backend_name(self) -> str:
+        """Name of the scheduler backend this engine runs on."""
+        return self._sched.name
+
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._counter), fn, args))
+        self._push(self._now + delay, fn, args)
 
     def event(self, name: str = "") -> Event:
         """Create a fresh untriggered :class:`Event`."""
@@ -235,12 +268,18 @@ class Engine:
         Runs until the queue drains or virtual time would pass ``until``.
         Returns the final virtual time.  Raises :class:`DeadlockError` if
         the queue drains while spawned processes are still unfinished.
+
+        Dispatch is batched: every event at the minimum pending timestamp
+        runs in one inner loop.  If an event callback raises, the
+        unexecuted remainder of its batch is pushed back onto the queue
+        (in order, at the same time) before the exception propagates, so
+        the pending set stays consistent for post-mortem inspection.
         """
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
-        heap = self._heap
-        pop = heappop
+        sched = self._sched
+        pop_batch = sched.pop_batch
         n_events = 0
         hw = self.heap_high_water
         track = self._metrics is not None
@@ -249,31 +288,64 @@ class Engine:
                 if track:
                     # Instrumented twin of the fast loop below: the
                     # high-water check must not tax metrics-off runs.
-                    while heap:
-                        if len(heap) > hw:
-                            hw = len(heap)
-                        t, _seq, fn, args = pop(heap)
+                    while True:
+                        pending = len(sched)
+                        if pending > hw:
+                            hw = pending
+                        nxt = pop_batch()
+                        if nxt is None:
+                            break
+                        t, batch = nxt
                         self._now = t
-                        fn(*args)
-                        n_events += 1
+                        it = iter(batch)
+                        try:
+                            for fn, args in it:
+                                fn(*args)
+                        except BaseException:
+                            self._requeue(t, it)
+                            raise
+                        n_events += len(batch)
                 else:
-                    while heap:
-                        t, _seq, fn, args = pop(heap)
+                    # The hot loop: the same-time batch runs inline with
+                    # no per-event bookkeeping at all — the executed
+                    # count is the batch length, added once per batch.
+                    while True:
+                        nxt = pop_batch()
+                        if nxt is None:
+                            break
+                        t, batch = nxt
                         self._now = t
-                        fn(*args)
-                        n_events += 1
+                        it = iter(batch)
+                        try:
+                            for fn, args in it:
+                                fn(*args)
+                        except BaseException:
+                            self._requeue(t, it)
+                            raise
+                        n_events += len(batch)
             else:
-                while heap:
-                    t, _seq, fn, args = heap[0]
+                peek = sched.peek_time
+                while True:
+                    t = peek()
+                    if t is None:
+                        break
                     if t > until:
                         self._now = until
                         return self._now
-                    if track and len(heap) > hw:
-                        hw = len(heap)
-                    pop(heap)
+                    if track:
+                        pending = len(sched)
+                        if pending > hw:
+                            hw = pending
+                    _t, batch = pop_batch()
                     self._now = t
-                    fn(*args)
-                    n_events += 1
+                    it = iter(batch)
+                    try:
+                        for fn, args in it:
+                            fn(*args)
+                    except BaseException:
+                        self._requeue(t, it)
+                        raise
+                    n_events += len(batch)
             if self._live_processes:
                 stuck = sorted(p.name for p in self._live_processes)
                 raise DeadlockError(
@@ -292,6 +364,19 @@ class Engine:
                 m.counter("engine.events").inc(n_events)
                 m.counter("engine.runs").inc()
                 m.gauge("engine.heap_max").set_max(hw)
+
+    def _requeue(self, t: float, tail) -> None:
+        """Re-queue the unexecuted remainder of a batch whose event raised.
+
+        ``tail`` is the batch iterator, resumed past the raising event —
+        pushing it back at ``t`` keeps the pending set consistent for
+        post-mortem inspection.  (Events executed before the raise stay
+        uncounted, matching the pre-batching per-event loop, which also
+        never reached its counter update on a raise.)
+        """
+        push = self._push
+        for fn, args in tail:
+            push(t, fn, args)
 
     def run_all(self, gens: Iterable[ProcessGen]) -> list[Any]:
         """Spawn each generator, run to completion, return their results."""

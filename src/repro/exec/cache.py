@@ -20,6 +20,7 @@ import shutil
 import tempfile
 from pathlib import Path
 
+from ..core import sched
 from .points import SimPoint
 
 #: Default cache location (relative to the current working directory).
@@ -72,9 +73,15 @@ class ResultCache:
         self.stores = 0
 
     def _path(self, point: SimPoint) -> Path:
-        digest = hashlib.sha256(
-            (self.fingerprint + "\n" + point.key()).encode()
-        ).hexdigest()
+        blob = self.fingerprint + "\n" + point.key()
+        # Scheduler backends that can change results (the macro fast-path
+        # above its rank threshold) salt the address so approximate and
+        # exact results never alias.  Exact backends tag as None: heapq,
+        # calendar, and macro-below-threshold all share entries.
+        tag = sched.backend_result_tag()
+        if tag is not None:
+            blob += "\n" + tag
+        digest = hashlib.sha256(blob.encode()).hexdigest()
         return self.root / digest[:2] / f"{digest}.pkl"
 
     def get(self, point: SimPoint):

@@ -23,6 +23,7 @@ from collections.abc import Sequence
 from time import perf_counter
 from typing import Any
 
+from ..core import sched
 from ..obs.commviz import get_commviz
 from ..obs.metrics import get_metrics
 from ..obs.timeline import get_timeline
@@ -72,7 +73,8 @@ class SweepExecutor:
                 max_workers=self.jobs,
                 initializer=init_worker_metrics,
                 initargs=(get_metrics().enabled, get_commviz().enabled,
-                          get_timeline().enabled),
+                          get_timeline().enabled,
+                          sched.default_backend_name()),
             )
         return self._pool
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
+from ..core import sched
 from ..core.engine import EVENT_STATS
 from ..obs.commviz import CommRecorder, get_commviz, set_commviz, using_commviz
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics, using_metrics
@@ -60,14 +61,20 @@ class PointRecord:
 
 
 def init_worker_metrics(enabled: bool, comm: bool = False,
-                        timeline: bool = False) -> None:
+                        timeline: bool = False,
+                        engine_backend: str | None = None) -> None:
     """Process-pool initializer: mirror the parent's observability switches.
 
     Worker processes start with the shared disabled registry/recorders;
     when the parent harness runs with them on, each worker gets its own
     enabled instances so :func:`compute_point` collects per-point
-    snapshots for the deterministic fan-in merge.
+    snapshots for the deterministic fan-in merge.  ``engine_backend``
+    pins the parent's scheduler backend choice explicitly — with the
+    ``spawn`` start method the child would otherwise fall back to its
+    own environment.
     """
+    if engine_backend is not None:
+        sched.set_default_backend(engine_backend)
     if enabled:
         set_metrics(MetricsRegistry(enabled=True))
     if comm:

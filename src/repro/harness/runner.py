@@ -43,6 +43,8 @@ import time
 from pathlib import Path
 from time import perf_counter
 
+from ..core import sched
+from ..core.errors import ConfigError
 from ..exec import (
     DEFAULT_CACHE_DIR,
     ResultCache,
@@ -72,7 +74,9 @@ from .report import render_figure, render_table, save_figure, save_table
 from .tables import ALL_TABLES
 
 #: Bump when the BENCH_harness.json layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+#: v2: ``harness.engine_backend`` records the scheduler backend the run
+#: used (and joins the ledger ``run_key``).
+BENCH_SCHEMA_VERSION = 2
 
 
 def _norm_fig(arg: str) -> str:
@@ -170,6 +174,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--jobs", "-j", type=int, default=None,
                     help="worker processes for sweep points "
                          "(default: REPRO_JOBS env var, else CPU count)")
+    ap.add_argument("--engine-backend", default=None, metavar="NAME",
+                    help="scheduler backend for every simulation "
+                         f"({', '.join(sched.available_backends())}; "
+                         f"default: {sched.BACKEND_ENV} env var, else "
+                         f"{sched.FALLBACK_BACKEND})")
     ap.add_argument("--no-cache", action="store_true",
                     help="disable the on-disk result cache")
     ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -223,6 +232,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
+    try:
+        if args.engine_backend is not None:
+            sched.set_default_backend(args.engine_backend)
+        engine_backend = sched.default_backend_name()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     if args.cache_clear:
         ResultCache(args.cache_dir).clear()
         print(f"[cache cleared: {args.cache_dir}]")
@@ -243,7 +260,6 @@ def main(argv: list[str] | None = None) -> int:
         # Deferred import: repro.validate imports the harness figure/table
         # registries, so the dependency must point this way only at call
         # time to keep the import graph acyclic.
-        from ..core.errors import ConfigError
         from ..validate.gate import run_validation
 
         # The ledger layer joins the gate whenever a ledger exists: an
@@ -418,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         "fingerprint": fingerprint,
         "max_cpus": args.max_cpus,
         "jobs": executor.jobs,
+        "engine_backend": engine_backend,
         "cache": None if cache is None else str(cache.root),
         "wall_s": round(wall_s, 6),
     }
@@ -440,7 +457,7 @@ def main(argv: list[str] | None = None) -> int:
         ledger_path = (Path(args.ledger) if args.ledger
                        else bench_path.with_name("BENCH_ledger.jsonl"))
         ledger = RunLedger(ledger_path)
-        key = run_key(item_ids, args.max_cpus)
+        key = run_key(item_ids, args.max_cpus, engine_backend)
         entry = ledger.append({
             "when": round(time.time(), 3),
             "git_sha": sha,
@@ -449,6 +466,7 @@ def main(argv: list[str] | None = None) -> int:
             "items": item_ids,
             "max_cpus": args.max_cpus,
             "jobs": executor.jobs,
+            "engine_backend": engine_backend,
             "wall_s": round(wall_s, 6),
             "points": totals["points"],
             "cache_hits": totals["cache_hits"],

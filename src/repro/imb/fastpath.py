@@ -1,0 +1,126 @@
+"""Analytic macro fast-path for steady-state IMB collective phases.
+
+The IMB collective benchmarks are *steady state by construction*: every
+measured iteration performs the identical collective on the identical
+message size, so the per-iteration time the message-level simulation
+converges to is exactly what the closed forms in
+:mod:`repro.network.macro` price.  When the active scheduler backend
+licenses the fast-path (``--engine-backend macro``) **and** the rank
+count is strictly above :func:`repro.core.sched.macro_fastpath_threshold`,
+:meth:`repro.imb.framework.IMBBenchmark.run` short-circuits the whole
+cluster simulation with one pricer call — this is what makes 100k–1M-rank
+scale studies tractable (the message-level path would schedule ~P log P
+events per collective call).
+
+Correctness discipline (mirrors the golden oracle's expectations):
+
+* The pricer table mirrors the *algorithm selection rules* of
+  :mod:`repro.mpi.collectives` — size thresholds, power-of-two splits,
+  small-communicator special cases — so the closed form always prices
+  the same algorithm the message-level path would have scheduled.
+* The default threshold sits above the paper's largest configuration,
+  so every figure/table in the paper range is produced by the exact
+  message-level simulation under every backend; ``repro.validate``
+  proves that byte-for-byte.
+* Fast-pathed results are never cache-compatible with exact results:
+  :func:`repro.core.sched.backend_result_tag` salts the result-cache key
+  whenever the fast-path is live.
+"""
+
+from __future__ import annotations
+
+from ..core import sched
+from ..machine.system import MachineSpec
+from ..mpi.collectives import (
+    ALLGATHER_TOTAL_SHORT,
+    ALLREDUCE_SHORT,
+    ALLTOALL_SHORT,
+    BCAST_SHORT,
+    REDUCE_SHORT,
+    _is_pow2,
+)
+from ..network import macro
+
+
+def fastpath_active(nprocs: int) -> bool:
+    """Whether the macro fast-path may replace a simulation at ``nprocs``.
+
+    Both gates must pass: the process-default scheduler backend carries
+    the ``macro_fastpath`` capability, and the rank count is strictly
+    above the configured threshold (`REPRO_MACRO_THRESHOLD`).
+    """
+    return (nprocs > sched.macro_fastpath_threshold()
+            and sched.macro_fastpath_active())
+
+
+# -- per-benchmark pricers, mirroring mpi.collectives selection rules -------
+
+def _barrier(ctx: macro.MacroContext, n: float) -> float:
+    return macro.barrier_dissemination_time(ctx)
+
+
+def _bcast(ctx: macro.MacroContext, n: float) -> float:
+    if n < BCAST_SHORT or ctx.nprocs < 8:
+        return macro.bcast_binomial_time(ctx, n)
+    return macro.bcast_scatter_ring_time(ctx, n)
+
+
+def _reduce(ctx: macro.MacroContext, n: float) -> float:
+    if n < REDUCE_SHORT:
+        return macro.reduce_binomial_time(ctx, n)
+    return macro.reduce_rabenseifner_time(ctx, n)
+
+
+def _allreduce(ctx: macro.MacroContext, n: float) -> float:
+    if n < ALLREDUCE_SHORT:
+        return macro.allreduce_recursive_doubling_time(ctx, n)
+    return macro.allreduce_rabenseifner_time(ctx, n)
+
+
+def _reduce_scatter(ctx: macro.MacroContext, n: float) -> float:
+    if _is_pow2(ctx.nprocs):
+        return macro.reduce_scatter_halving_time(ctx, n)
+    # reduce_scatterv: Rabenseifner reduce to root + binomial scatterv.
+    return (macro.reduce_rabenseifner_time(ctx, n)
+            + macro.scatter_binomial_time(ctx, n))
+
+
+def _allgather(ctx: macro.MacroContext, n: float) -> float:
+    if n * ctx.nprocs <= ALLGATHER_TOTAL_SHORT:
+        if _is_pow2(ctx.nprocs):
+            return macro.allgather_recursive_doubling_time(ctx, n)
+        return macro.allgather_bruck_time(ctx, n)
+    return macro.allgather_ring_time(ctx, n)
+
+
+def _alltoall(ctx: macro.MacroContext, n: float) -> float:
+    if n <= ALLTOALL_SHORT:
+        # Bruck ships log2(P) aggregated slices of ~n*P/2 bytes.
+        return macro.allgather_bruck_time(ctx, n)
+    return macro.alltoall_time(ctx, n)
+
+
+#: Benchmark name (IMB spelling) -> pricer(ctx, msg_bytes) -> seconds/call.
+PRICERS = {
+    "Barrier": _barrier,
+    "Bcast": _bcast,
+    "Reduce": _reduce,
+    "Allreduce": _allreduce,
+    "Reduce_scatter": _reduce_scatter,
+    "Allgather": _allgather,
+    "Allgatherv": _allgather,  # equal counts: same schedule as Allgather
+    "Alltoall": _alltoall,
+}
+
+
+def price(benchmark: str, machine: MachineSpec, nprocs: int,
+          msg_bytes: int) -> float | None:
+    """Closed-form seconds per call, or ``None`` if no pricer covers
+    ``benchmark`` (transfer/one-sided benchmarks always simulate)."""
+    fn = PRICERS.get(benchmark)
+    if fn is None:
+        return None
+    if nprocs == 1:
+        return 0.0
+    ctx = macro.MacroContext.from_machine(machine, nprocs)
+    return fn(ctx, float(msg_bytes))

@@ -105,17 +105,19 @@ class IMBBenchmark:
             )
         if iterations < 1:
             raise BenchmarkError("iterations must be >= 1")
-        cluster = Cluster(machine, nprocs)
+        t_max = self._steady_state_time(machine, nprocs, msg_bytes)
+        if t_max is None:
+            cluster = Cluster(machine, nprocs)
 
-        def driver(comm):
-            if warmup:
-                yield from self.program(comm, msg_bytes, warmup)
-            yield from comm.barrier()
-            t = yield from self.program(comm, msg_bytes, iterations)
-            return t / iterations
+            def driver(comm):
+                if warmup:
+                    yield from self.program(comm, msg_bytes, warmup)
+                yield from comm.barrier()
+                t = yield from self.program(comm, msg_bytes, iterations)
+                return t / iterations
 
-        res = cluster.run(driver)
-        t_max = max(res.results)
+            res = cluster.run(driver)
+            t_max = max(res.results)
         bw = None
         if self.bytes_per_iteration:
             per_iter = self.bytes_per_iteration * self._bw_scale(msg_bytes, nprocs)
@@ -131,6 +133,21 @@ class IMBBenchmark:
 
     def _bw_scale(self, msg_bytes: int, nprocs: int) -> float:
         return float(msg_bytes)
+
+    def _steady_state_time(self, machine: MachineSpec, nprocs: int,
+                           msg_bytes: int) -> float | None:
+        """Analytic per-call time when the macro fast-path is licensed.
+
+        Returns ``None`` (simulate at message level) unless the active
+        scheduler backend enables the fast-path AND ``nprocs`` exceeds the
+        configured threshold AND a closed-form pricer exists for this
+        benchmark.  See :mod:`repro.imb.fastpath`.
+        """
+        from . import fastpath
+
+        if not fastpath.fastpath_active(nprocs):
+            return None
+        return fastpath.price(self.name, machine, nprocs, msg_bytes)
 
 
 #: Registry populated by the benchmark modules.

@@ -51,4 +51,7 @@ def add_latency(fabric: Fabric, extra_seconds: float) -> Fabric:
     params = fabric.params
     object.__setattr__(params, "base_latency",
                        params.base_latency + extra_seconds)
+    # Latency is memoised per node pair; mutating base_latency would
+    # otherwise leave stale entries serving the pre-fault value.
+    fabric.invalidate_route_cache()
     return fabric

@@ -141,6 +141,32 @@ class MachineSpec:
             return [r % n for r in range(nprocs)]
         raise ConfigError(f"unknown placement strategy {strategy!r}")
 
+    def scaled(self, max_cpus: int, name: str | None = None) -> "MachineSpec":
+        """A hypothetical larger installation of this platform.
+
+        Node and link parameters are untouched; the topology is widened
+        (doubling the top fat-tree group / switch port count) until it
+        can attach enough nodes.  The macro fast-path scale studies use
+        this to ask what a fabric would look like at 100k+ ranks — the
+        paper's measured configurations never need it.
+        """
+        from dataclasses import replace
+        need_nodes = -(-max_cpus // self.node.cpus)
+        net = self.network
+        if net.max_nodes() < need_nodes:
+            if net.topology_kind == "fattree":
+                groups = list(net.group_sizes)
+                while math.prod(groups) < need_nodes:
+                    groups[-1] *= 2
+                net = replace(net, group_sizes=tuple(groups))
+            elif net.topology_kind == "multistage":
+                ports = net.ports
+                while ports < need_nodes:
+                    ports *= 2
+                net = replace(net, ports=ports)
+        return replace(self, name=name or f"{self.name}@{max_cpus}",
+                       network=net, max_cpus=max_cpus)
+
     # -- live model ----------------------------------------------------------------
 
     def fabric_params(self) -> FabricParams:

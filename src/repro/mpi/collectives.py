@@ -41,15 +41,21 @@ ALLTOALL_SHORT = 1024
 # ---------------------------------------------------------------------------
 
 def _isend(comm, dest: int, nbytes: int, tag: int, data: Any = None):
+    # Hot funnel: every collective message passes through here.  Peers
+    # are computed by the algorithms and always in range, so the public
+    # API's bounds check (`comm._global`) is skipped in favour of direct
+    # world-rank translation.
+    ranks = comm._world_ranks
     return comm.cluster.transport.isend(
-        comm.world_rank, comm._global(dest), int(nbytes), tag, data,
-        comm._channel("coll"),
+        ranks[comm._rank], ranks[dest], int(nbytes), tag, data,
+        comm._coll_channel,
     )
 
 
 def _irecv(comm, source: int, tag: int):
+    ranks = comm._world_ranks
     return comm.cluster.transport.irecv(
-        comm.world_rank, comm._global(source), tag, comm._channel("coll")
+        ranks[comm._rank], ranks[source], tag, comm._coll_channel
     )
 
 
@@ -132,6 +138,10 @@ class _SubGroup:
         self.size = len(self._members)
         self.cluster = comm.cluster
         self.world_rank = comm.world_rank
+        # Mirror the Comm attributes the hot _isend/_irecv funnel reads.
+        self._rank = self.rank
+        self._world_ranks = tuple(comm._global(m) for m in self._members)
+        self._coll_channel = comm._channel("coll")
 
     def _global(self, sub_rank: int) -> int:
         return self._comm._global(self._members[sub_rank])

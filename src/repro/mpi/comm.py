@@ -39,6 +39,14 @@ class Comm:
         self._comm_key = comm_key
         self._coll_seq = 0
         self._split_count = 0
+        # Pre-built channels: the hot messaging paths send one message
+        # per call through these, so they must not allocate.
+        self._coll_channel = (comm_key, "coll")
+        self._p2p_channel = (comm_key, "p2p")
+        # World ranks are usually the identity mapping (COMM_WORLD and
+        # order-preserving duplicates); then _localise is a no-op and
+        # the linear index() scan per received message is skipped.
+        self._identity = all(w == i for i, w in enumerate(world_ranks))
 
     # -- identity -----------------------------------------------------------------
 
@@ -81,14 +89,15 @@ class Comm:
         """Non-blocking send; returns the completion request (Event)."""
         n = resolve_nbytes(data, nbytes)
         return self.cluster.transport.isend(
-            self.world_rank, self._global(dest), n, tag, data, self._channel("p2p")
+            self._world_ranks[self._rank], self._global(dest), n, tag, data,
+            self._p2p_channel
         )
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
         """Non-blocking receive; the request's value is a RecvResult."""
         gsrc = source if source == ANY_SOURCE else self._global(source)
         return self.cluster.transport.irecv(
-            self.world_rank, gsrc, tag, self._channel("p2p")
+            self._world_ranks[self._rank], gsrc, tag, self._p2p_channel
         )
 
     def send(self, dest: int, data: Any = None, nbytes: int | None = None,
@@ -180,7 +189,7 @@ class Comm:
 
     def _localise(self, result: RecvResult) -> RecvResult:
         """Map the transport's world source rank back into this comm."""
-        if result.source == ANY_SOURCE:
+        if self._identity or result.source == ANY_SOURCE:
             return result
         try:
             local = self._world_ranks.index(result.source)

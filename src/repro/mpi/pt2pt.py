@@ -112,6 +112,10 @@ class Transport:
             self._m_bytes = None
         commrec = get_commviz()
         self._commrec = commrec if commrec.enabled else None
+        # Single per-send instrumentation gate: one attribute test on the
+        # hot path instead of three when everything is disabled.
+        self._instrumented = (self._m_msgs is not None
+                              or self._commrec is not None)
 
     # -- CPU bookkeeping -----------------------------------------------------
 
@@ -169,19 +173,32 @@ class Transport:
             raise MPIError(f"destination rank {dst} out of range")
         if tag < 0:
             raise MPIError(f"application tags must be >= 0, got {tag}")
+        # Hot path: one isend per simulated message.  Everything below
+        # sticks to pre-bound locals, absolute-time pushes (provably not
+        # in the past), and plain additions for the latency-only control
+        # lane — the generic helpers (`engine.schedule`, `control_timing`,
+        # `charge_cpu`) cost a call + allocation each that this path pays
+        # millions of times per sweep.
         engine = self.engine
-        params = self.fabric.params
-        now = engine.now
-        send_done = engine.event(f"send({src}->{dst},t{tag})")
-        t_cpu_done = self.charge_cpu(src, now, params.send_overhead)
+        fabric = self.fabric
+        params = fabric.params
+        now = engine._now
+        send_done = Event(engine)
+        cpu = self._cpu_free
+        begin = cpu[src]
+        if begin < now:
+            begin = now
+        t_cpu_done = begin + params.send_overhead
+        cpu[src] = t_cpu_done
 
         seq_key = (src, dst, channel)
         seq = self._send_seq.get(seq_key, 0) + 1
         self._send_seq[seq_key] = seq
 
-        src_node = self.placement[src]
-        dst_node = self.placement[dst]
-        if self._m_msgs is not None or self._commrec is not None:
+        placement = self.placement
+        src_node = placement[src]
+        dst_node = placement[dst]
+        if self._instrumented:
             inter = src_node != dst_node
             if self._m_msgs is not None:
                 self._m_msgs[inter].inc()
@@ -189,30 +206,30 @@ class Transport:
             if self._commrec is not None:
                 self._commrec.record(src, dst, nbytes, inter)
 
-        if self.fabric.is_eager(nbytes) and not force_rendezvous:
+        if nbytes <= params.eager_threshold and not force_rendezvous:
             # Stage through a local bounce-buffer copy; the sender is free
             # right after, and the wire transfer starts once the copy is
             # done (this staging cost is what makes eager lose to
             # rendezvous at large sizes).
-            stage = self.fabric.memcpy_time(nbytes)
-            t_free = self.charge_cpu(src, t_cpu_done, stage)
-            timing = self.fabric.message_timing(src_node, dst_node, nbytes, t_free)
-            engine.schedule(max(0.0, t_free - now), send_done.trigger, None)
-            payload = copy_payload(data)
+            t_free = t_cpu_done + nbytes / params.memcpy_bw
+            cpu[src] = t_free
+            timing = fabric.message_timing(src_node, dst_node, nbytes, t_free)
+            engine._push(t_free, send_done.trigger, (None,))
+            payload = None if data is None else copy_payload(data)
             # The envelope (header) travels on the control lane and keeps
             # send order; the payload completes at the bandwidth-queued
             # time.  Matching happens at envelope arrival, receive
             # completion waits for the payload.
-            envelope = self.fabric.control_timing(src_node, dst_node,
-                                                  t_cpu_done)
+            env_arrival = t_cpu_done + fabric.latency(src_node, dst_node)
             arrival = _Arrival(src, tag, nbytes, payload, timing.arrival,
                                seq=seq)
-            delay = max(0.0, envelope.arrival - now)
-            engine.schedule(delay, self._deliver_eager, dst, arrival, channel)
-            self._trace(src, dst, nbytes, tag, t_cpu_done, timing.arrival)
+            engine._push(env_arrival, self._deliver_eager,
+                         (dst, arrival, channel))
+            if self.tracer._enabled:
+                self._trace(src, dst, nbytes, tag, t_cpu_done, timing.arrival)
         else:
             # Rendezvous: RTS -> (recv posted) -> CTS -> bulk transfer.
-            rts = self.fabric.control_timing(src_node, dst_node, t_cpu_done)
+            rts_arrival = t_cpu_done + fabric.latency(src_node, dst_node)
             pending = _PendingRendezvous(
                 source=src,
                 tag=tag,
@@ -222,8 +239,8 @@ class Transport:
                 recv_done_cb=None,
                 seq=seq,
             )
-            delay = max(0.0, rts.arrival - now)
-            engine.schedule(delay, self._rts_arrive, dst, pending, channel)
+            engine._push(rts_arrival, self._rts_arrive,
+                         (dst, pending, channel))
         return send_done
 
     def _earlier_queued(self, box: _Mailbox, src: int, seq: int,
@@ -242,7 +259,7 @@ class Transport:
         return False
 
     def _deliver_eager(self, dst: int, arr: _Arrival, channel: Any) -> None:
-        now = self.engine.now
+        now = self.engine._now
         box = self._box(channel, dst)
         for i, pr in enumerate(box.posted):
             if _match(pr.source, pr.tag, arr.source, arr.tag):
@@ -254,7 +271,7 @@ class Transport:
                 done = self.charge_cpu(dst, max(now, arr.t_arrive),
                                        self.fabric.params.recv_overhead)
                 self._complete_recv(pr.event, arr.data, arr.source, arr.tag,
-                                    arr.nbytes, done - now)
+                                    arr.nbytes, done)
                 return
         box.unexpected.append(arr)
 
@@ -273,34 +290,47 @@ class Transport:
     def _start_bulk(self, dst: int, pending: _PendingRendezvous, recv_event: Event) -> None:
         """Matching recv is posted and RTS arrived: CTS + bulk transfer."""
         engine = self.engine
-        now = engine.now
+        fabric = self.fabric
+        now = engine._now
         src = pending.source
         src_node = self.placement[src]
         dst_node = self.placement[dst]
-        # CTS travels back; bulk leaves after it lands at the sender.
-        cts = self.fabric.control_timing(dst_node, src_node, now)
-        bulk = self.fabric.message_timing(
-            src_node, dst_node, pending.nbytes, cts.arrival
+        # CTS travels back on the latency-only control lane; bulk leaves
+        # after it lands at the sender.
+        cts_arrival = now + fabric.latency(dst_node, src_node)
+        bulk = fabric.message_timing(
+            src_node, dst_node, pending.nbytes, cts_arrival
         )
         # Sender's buffer is free once the bulk data has left the NIC.
-        engine.schedule(max(0.0, bulk.inject_end - now), pending.send_done.trigger, None)
-        payload = copy_payload(pending.data)
+        engine._push(bulk.inject_end, pending.send_done.trigger, (None,))
+        data = pending.data
+        payload = None if data is None else copy_payload(data)
+        engine._push(bulk.arrival, self._finish_bulk,
+                     (dst, pending, recv_event, payload))
+        if self.tracer._enabled:
+            self._trace(src, dst, pending.nbytes, pending.tag,
+                        bulk.inject_start, bulk.arrival)
 
-        def finish() -> None:
-            t = engine.now
-            done = self.charge_cpu(dst, t, self.fabric.params.recv_overhead)
-            self._complete_recv(
-                recv_event, payload, src, pending.tag, pending.nbytes, done - t
-            )
-
-        engine.schedule(max(0.0, bulk.arrival - now), finish)
-        self._trace(src, dst, pending.nbytes, pending.tag, bulk.inject_start, bulk.arrival)
+    def _finish_bulk(self, dst: int, pending: _PendingRendezvous,
+                     recv_event: Event, payload: Any) -> None:
+        """Bulk payload landed: charge recv overhead, complete the recv."""
+        t = self.engine._now
+        done = self.charge_cpu(dst, t, self.fabric.params.recv_overhead)
+        self._complete_recv(
+            recv_event, payload, pending.source, pending.tag,
+            pending.nbytes, done
+        )
 
     def _complete_recv(
-        self, event: Event, payload: Any, src: int, tag: int, nbytes: int, delay: float
+        self, event: Event, payload: Any, src: int, tag: int, nbytes: int,
+        t_done: float
     ) -> None:
+        """Trigger ``event`` with the receive result at absolute ``t_done``."""
         result = RecvResult(data=payload, source=src, tag=tag, nbytes=nbytes)
-        self.engine.schedule(max(0.0, delay), event.trigger, result)
+        engine = self.engine
+        if t_done < engine._now:
+            t_done = engine._now
+        engine._push(t_done, event.trigger, (result,))
 
     # -- receive -----------------------------------------------------------------
 
@@ -309,8 +339,8 @@ class Transport:
         if source != ANY_SOURCE and not (0 <= source < self.nprocs):
             raise MPIError(f"source rank {source} out of range")
         engine = self.engine
-        now = engine.now
-        event = engine.event(f"recv({source}->{dst},t{tag})")
+        now = engine._now
+        event = Event(engine)
         box = self._box(channel, dst)
 
         # Collect every queued envelope (eager arrivals + parked
@@ -341,7 +371,7 @@ class Transport:
                 )
                 done = self.charge_cpu(dst, max(now, arr.t_arrive), cost)
                 self._complete_recv(
-                    event, arr.data, arr.source, arr.tag, arr.nbytes, done - now
+                    event, arr.data, arr.source, arr.tag, arr.nbytes, done
                 )
             else:
                 pending = box.pending_rndv.pop(i)

@@ -296,3 +296,73 @@ def barrier_dissemination_time(ctx: MacroContext) -> float:
         t += ctx.exchange_step(1.0, dist)
         dist <<= 1
     return t
+
+
+def allgather_recursive_doubling_time(ctx: MacroContext,
+                                      block_nbytes: float) -> float:
+    """Recursive-doubling allgather (power-of-two ranks): log2(P) steps,
+    the exchanged block doubling each step."""
+    p = ctx.nprocs
+    if p == 1:
+        return 0.0
+    t = 0.0
+    dist = 1
+    while dist < p:
+        t += ctx.exchange_step(block_nbytes * dist, dist)
+        dist <<= 1
+    return t
+
+
+def allgather_bruck_time(ctx: MacroContext, block_nbytes: float) -> float:
+    """Bruck allgather (any rank count): ceil(log2 P) steps; step k ships
+    ``min(2^k, P - 2^k)`` blocks at distance ``2^k``."""
+    p = ctx.nprocs
+    if p == 1:
+        return 0.0
+    t = 0.0
+    dist = 1
+    while dist < p:
+        blocks = min(dist, p - dist)
+        t += ctx.exchange_step(block_nbytes * blocks, dist)
+        dist <<= 1
+    return t
+
+
+def reduce_scatter_halving_time(ctx: MacroContext, nbytes: float) -> float:
+    """Recursive-halving reduce_scatter (power-of-two ranks).
+
+    The first phase of Rabenseifner's allreduce, priced on its own:
+    distances P/2, P/4, ..., 1 with exchanged sizes nbytes/2, nbytes/4,
+    ..., each followed by folding the received half.
+    """
+    p = ctx.nprocs
+    if p == 1:
+        return 0.0
+    p2 = 1 << (p.bit_length() - 1)
+    t = 0.0
+    if p2 != p:  # non-pow2 pre-fold as in the message-level algorithm
+        t += ctx.exchange_step(nbytes, 1) + ctx.reduce_time(nbytes)
+    dist = p2 // 2
+    size = nbytes / 2.0
+    while dist >= 1:
+        t += ctx.exchange_step(size, dist) + ctx.reduce_time(size)
+        dist //= 2
+        size /= 2.0
+    return t
+
+
+def scatter_binomial_time(ctx: MacroContext, nbytes: float) -> float:
+    """Binomial scatter(v) critical path: the shipped slice halves each
+    level until it reaches one block of ``nbytes / P``."""
+    p = ctx.nprocs
+    if p == 1:
+        return 0.0
+    block = nbytes / p
+    t = 0.0
+    dist = 1
+    size = nbytes / 2.0
+    while dist < p:
+        t += ctx.exchange_step(size, dist)
+        dist <<= 1
+        size = max(size / 2.0, block)
+    return t

@@ -145,6 +145,14 @@ class Fabric:
             BandwidthResource(f"shm[{i}]", params.shm_bw, shm_m)
             for i in range(n)
         ]
+        # Lazily filled per-(src, dst) route cache: zero-byte latency and
+        # the joint resource list for inter-node transfers.  Topology
+        # geometry is immutable for the life of a fabric, and fault
+        # injectors mutate the *shared resource objects* in place (so
+        # cached lists stay truthful) — except latency faults, which call
+        # :meth:`invalidate_route_cache`.
+        self._lat_cache: dict[tuple[int, int], float] = {}
+        self._route_cache: dict[tuple[int, int], list[BandwidthResource]] = {}
 
     # -- introspection used by analysis/tests -------------------------------
 
@@ -181,10 +189,39 @@ class Fabric:
     # -- timing ----------------------------------------------------------------
 
     def latency(self, src_node: int, dst_node: int) -> float:
-        """Zero-byte latency between two nodes (intra-node uses shm)."""
+        """Zero-byte latency between two nodes (intra-node uses shm).
+
+        Hot path: memoised per node pair — hop counts are pure topology
+        geometry, and the paper's machines have at most a few hundred
+        nodes, so the cache stays small while removing a topology walk
+        from every message and every RTS/CTS control packet.
+        """
+        cached = self._lat_cache.get((src_node, dst_node))
+        if cached is not None:
+            return cached
         if src_node == dst_node:
-            return self.params.shm_latency
-        return self.params.latency(self.topology.hops(src_node, dst_node))
+            lat = self.params.shm_latency
+        else:
+            lat = self.params.latency(self.topology.hops(src_node, dst_node))
+        self._lat_cache[(src_node, dst_node)] = lat
+        return lat
+
+    def invalidate_route_cache(self) -> None:
+        """Drop memoised latencies/routes after a parameter mutation."""
+        self._lat_cache.clear()
+        self._route_cache.clear()
+
+    def _route(self, src_node: int, dst_node: int) -> list[BandwidthResource]:
+        """The joint resource list one inter-node transfer reserves."""
+        resources = [
+            self._egress[src_node],
+            self._core[self.topology.path_level(src_node, dst_node)],
+            self._ingress[dst_node],
+        ]
+        if self._bus is not None:
+            resources.append(self._bus[src_node])
+            resources.append(self._bus[dst_node])
+        return resources
 
     def message_timing(
         self, src_node: int, dst_node: int, nbytes: float, t_ready: float
@@ -195,25 +232,21 @@ class Fabric:
         inter-node messages jointly reserve source egress, the core level
         the path crosses, and destination ingress.
         """
+        params = self.params
         if src_node == dst_node:
             # The node-wide shm resource models memory-bus sharing between
             # concurrent intra-node streams; a single stream is additionally
             # capped at shm_flow_bw (per-CPU copy rate).
             start, end = self._shm[src_node].reserve(nbytes, t_ready)
-            end = max(end, start + nbytes / self.params.shm_flow_bw)
-            return MessageTiming(start, end, end + self.params.shm_latency)
-        level = self.topology.path_level(src_node, dst_node)
-        resources = [
-            self._egress[src_node],
-            self._core[level],
-            self._ingress[dst_node],
-        ]
-        if self._bus is not None:
-            resources.append(self._bus[src_node])
-            resources.append(self._bus[dst_node])
+            end = max(end, start + nbytes / params.shm_flow_bw)
+            return MessageTiming(start, end, end + params.shm_latency)
+        key = (src_node, dst_node)
+        resources = self._route_cache.get(key)
+        if resources is None:
+            resources = self._route_cache[key] = self._route(src_node, dst_node)
         start, end = reserve_joint(resources, nbytes, t_ready)
         # A single stream cannot exceed its link's burst bandwidth.
-        end = max(end, start + nbytes / self.params.effective_point_bw)
+        end = max(end, start + nbytes / (params.link_bw * params.bw_efficiency))
         return MessageTiming(start, end, end + self.latency(src_node, dst_node))
 
     def control_timing(self, src_node: int, dst_node: int,

@@ -89,8 +89,11 @@ class BandwidthResource:
 
     def reserve(self, nbytes: float, earliest: float) -> tuple[float, float]:
         """Reserve the resource for ``nbytes``; returns ``(start, end)``."""
-        start = max(earliest, self.next_free)
-        end = start + self.service_time(nbytes)
+        start = self.next_free
+        if start < earliest:
+            start = earliest
+        # nbytes / inf == 0.0, so an unconstrained resource needs no branch.
+        end = start + nbytes / self.bandwidth
         self.next_free = end
         self.busy_time += end - start
         self.bytes_served += nbytes
@@ -137,4 +140,6 @@ def reserve_joint(
             first_start = s
         if e > end:
             end = e
-    return (earliest if first_start is None else first_start), end
+    if first_start is None:
+        return earliest, end
+    return first_start, end

@@ -26,7 +26,10 @@ import subprocess
 from pathlib import Path
 
 #: Bump when the entry layout changes incompatibly.
-LEDGER_SCHEMA_VERSION = 1
+#: v2: entries carry ``engine_backend`` and it joins ``run_key`` — runs
+#: under different scheduler backends are different work, so their
+#: events/s never compete in the same trailing-median window.
+LEDGER_SCHEMA_VERSION = 2
 
 #: Comparable runs required before regression flagging switches on.
 MIN_HISTORY = 3
@@ -49,9 +52,11 @@ def git_sha(repo_dir: str | Path | None = None) -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
-def run_key(items: list[str], max_cpus: int | None) -> str:
-    """Stable key for "the same work": item names + CPU cap."""
-    blob = json.dumps({"items": sorted(items), "max_cpus": max_cpus},
+def run_key(items: list[str], max_cpus: int | None,
+            engine_backend: str | None = None) -> str:
+    """Stable key for "the same work": items + CPU cap + engine backend."""
+    blob = json.dumps({"items": sorted(items), "max_cpus": max_cpus,
+                       "engine_backend": engine_backend},
                       sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()[:12]
 

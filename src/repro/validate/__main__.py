@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..core import sched
 from ..core.errors import ConfigError
 from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepExecutor, using_executor
 from ..harness.figures import ALL_FIGURES
@@ -49,6 +50,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="write the machine-readable report JSON to PATH")
     ap.add_argument("--jobs", "-j", type=int, default=None,
                     help="worker processes for sweep points")
+    ap.add_argument("--engine-backend", default=None, metavar="NAME",
+                    help="scheduler backend for every simulation "
+                         f"({', '.join(sched.available_backends())}; "
+                         f"default: {sched.BACKEND_ENV} env var, else "
+                         f"{sched.FALLBACK_BACKEND})")
     ap.add_argument("--no-cache", action="store_true",
                     help="disable the on-disk result cache")
     ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -85,6 +91,14 @@ def main(argv: list[str] | None = None) -> int:
         print("error: every validation layer is disabled "
               "(--skip-golden --skip-invariants, no --fuzz, no --ledger)",
               file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        if args.engine_backend is not None:
+            sched.set_default_backend(args.engine_backend)
+        sched.default_backend_name()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)

@@ -1,0 +1,160 @@
+"""The macro fast-path: gating, pricing, cache isolation, scale studies.
+
+The analytic fast-path (:mod:`repro.imb.fastpath`) may replace a
+message-level IMB collective simulation only when BOTH gates pass: the
+process-default scheduler backend is ``macro`` AND the rank count is
+strictly above ``REPRO_MACRO_THRESHOLD`` (default: one past the paper's
+largest 2024-CPU configuration).  Inside the paper range every backend
+must therefore produce byte-identical results; above the threshold the
+fast-path must return exactly what the pricers compute, in microseconds
+of host time rather than minutes, and its results must never share
+cache entries with exact-mode results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import get_machine
+from repro.core import sched
+from repro.exec import ResultCache, SimPoint
+from repro.imb import fastpath
+from repro.imb.framework import BENCHMARKS, get_benchmark
+
+COLLECTIVES = ["Barrier", "Bcast", "Reduce", "Allreduce", "Reduce_scatter",
+               "Allgather", "Allgatherv", "Alltoall"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_default():
+    previous = sched.set_default_backend(None)
+    yield
+    sched.set_default_backend(previous)
+
+
+# -- gating --------------------------------------------------------------------
+
+def test_fastpath_needs_both_gates(monkeypatch):
+    monkeypatch.delenv(sched.THRESHOLD_ENV, raising=False)
+    thr = sched.DEFAULT_MACRO_THRESHOLD
+    sched.set_default_backend("macro")
+    assert not fastpath.fastpath_active(thr)        # strictly above only
+    assert fastpath.fastpath_active(thr + 1)
+    for exact in ("heapq", "calendar"):
+        sched.set_default_backend(exact)
+        assert not fastpath.fastpath_active(1 << 20)
+
+
+def test_default_threshold_covers_paper_range():
+    """Every configuration the paper measured must simulate exactly."""
+    from repro.machine import MACHINES
+
+    largest = max(m.max_cpus for m in MACHINES.values())
+    assert largest <= sched.DEFAULT_MACRO_THRESHOLD
+
+
+def test_paper_range_results_identical_across_backends():
+    m = get_machine("xeon")
+
+    def measure(backend):
+        sched.set_default_backend(backend)
+        r = get_benchmark("Allreduce").run(m, 16)
+        return r.time_us, r.bandwidth_mbs
+
+    ref = measure("heapq")
+    assert measure("calendar") == ref
+    assert measure("macro") == ref   # below threshold: macro is exact too
+
+
+# -- pricing -------------------------------------------------------------------
+
+def test_every_collective_has_a_pricer():
+    for name in COLLECTIVES:
+        assert name in fastpath.PRICERS
+
+
+def test_transfer_benchmarks_have_no_pricer():
+    m = get_machine("xeon")
+    for name in BENCHMARKS:
+        if name not in fastpath.PRICERS:
+            assert fastpath.price(name, m, 4096, 1024) is None
+
+
+@pytest.mark.parametrize("name", COLLECTIVES)
+@pytest.mark.parametrize("p", [4096, 65536, 65537])
+def test_prices_are_finite_positive_and_scale(name, p):
+    m = get_machine("xeon").scaled(1 << 17)
+    t = fastpath.price(name, m, p, 1024 * 1024)
+    assert t is not None and math.isfinite(t) and t > 0
+    if name != "Barrier":
+        bigger = fastpath.price(name, m, p, 2 * 1024 * 1024)
+        assert bigger > t
+
+
+def test_run_above_threshold_returns_priced_time(monkeypatch):
+    """Above the threshold, IMBBenchmark.run must short-circuit to the
+    pricer — same value, no cluster construction at 8192 ranks."""
+    monkeypatch.setenv(sched.THRESHOLD_ENV, "1024")
+    sched.set_default_backend("macro")
+    m = get_machine("xeon").scaled(8192)
+    for name in COLLECTIVES:
+        r = get_benchmark(name).run(m, 8192)
+        want = fastpath.price(name, m, 8192, 1024 * 1024)
+        assert r.time_us == pytest.approx(want * 1e6)
+        assert r.check() == []
+
+
+def test_lowered_threshold_prices_close_to_simulation(monkeypatch):
+    """With the threshold lowered into simulable range, the fast-path
+    must stay within the same tolerance band the macro agreement suite
+    licenses for the closed forms."""
+    m = get_machine("xeon")
+    sched.set_default_backend("calendar")
+    exact = get_benchmark("Allreduce").run(m, 32).time_us
+    monkeypatch.setenv(sched.THRESHOLD_ENV, "16")
+    sched.set_default_backend("macro")
+    fast = get_benchmark("Allreduce").run(m, 32).time_us
+    assert fast == pytest.approx(exact, rel=0.6)
+
+
+# -- cache isolation -----------------------------------------------------------
+
+def test_fastpath_results_never_alias_exact_cache_entries(monkeypatch):
+    monkeypatch.delenv(sched.THRESHOLD_ENV, raising=False)
+    cache = ResultCache("unused-dir", fingerprint="fixed")
+    pt = SimPoint.make("imb", "xeon", 4096, benchmark="Allreduce")
+    sched.set_default_backend("heapq")
+    p_heapq = cache._path(pt)
+    sched.set_default_backend("calendar")
+    p_cal = cache._path(pt)
+    sched.set_default_backend("macro")
+    p_macro = cache._path(pt)
+    # exact backends share entries (that's what makes cache-warm
+    # cross-backend runs byte-identical); fast-path mode never does
+    assert p_heapq == p_cal
+    assert p_macro != p_heapq
+    # and the threshold is part of the salt
+    monkeypatch.setenv(sched.THRESHOLD_ENV, "512")
+    assert cache._path(pt) != p_macro
+
+
+# -- scale-study machine scaling ----------------------------------------------
+
+def test_scaled_machine_widens_topology():
+    m = get_machine("xeon")                  # fat tree, 1296-node capacity
+    big = m.scaled(1 << 20)
+    assert big.max_cpus == 1 << 20
+    assert big.n_nodes(1 << 20) == (1 << 20) // m.node.cpus
+    assert big.node == m.node                # per-node physics untouched
+    assert big.network.link_gbs == m.network.link_gbs
+    sx8 = get_machine("sx8").scaled(4096)    # multistage: ports double
+    assert sx8.network.ports >= sx8.n_nodes(4096)
+
+
+def test_scaled_within_capacity_keeps_network():
+    m = get_machine("xeon")                  # 2592-CPU network capacity
+    big = m.scaled(2048)
+    assert big.network == m.network
+    assert big.max_cpus == 2048
