@@ -10,7 +10,9 @@ The package provides:
 * :mod:`repro.hpcc` — the HPC Challenge benchmark suite;
 * :mod:`repro.imb` — the Intel MPI Benchmarks;
 * :mod:`repro.analysis` — the paper's ratio-based analysis;
-* :mod:`repro.harness` — regeneration of every table and figure.
+* :mod:`repro.harness` — regeneration of every table and figure;
+* :mod:`repro.service` — the async sweep service (job queue, request
+  coalescing, multi-tenant result store).
 
 Quickstart::
 
@@ -22,6 +24,11 @@ Quickstart::
 
     res = Cluster(get_machine("sx8"), nprocs=8).run(hello)
     print(res.elapsed_us, res.results[0])
+
+The supported programmatic surface beyond the simulation primitives
+lives in :mod:`repro.api` and is re-exported here lazily — e.g.
+``from repro import run_figure`` resolves through :mod:`repro.api`
+without importing the harness at package-import time.
 """
 
 from .core import (
@@ -60,6 +67,38 @@ from .mpi import (
 
 __version__ = "1.0.0"
 
+#: Names served lazily from :mod:`repro.api` (PEP 562): importing
+#: ``repro`` must stay cheap, so the harness/service/validate stacks
+#: load only when one of these is first touched.
+_API_NAMES = frozenset({
+    "JobQueue",
+    "ReproConfig",
+    "ResultCache",
+    "SimPoint",
+    "SweepExecutor",
+    "default_jobs",
+    "get_executor",
+    "normalize_figure_id",
+    "normalize_table_id",
+    "run_figure",
+    "run_table",
+    "using_executor",
+    "validate",
+})
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | _API_NAMES)
+
+
 __all__ = [
     "__version__",
     "Cluster",
@@ -89,4 +128,18 @@ __all__ = [
     "MPIError",
     "ConfigError",
     "BenchmarkError",
+    # Lazy re-exports from repro.api (the stable public surface):
+    "JobQueue",
+    "ReproConfig",
+    "ResultCache",
+    "SimPoint",
+    "SweepExecutor",
+    "default_jobs",
+    "get_executor",
+    "normalize_figure_id",
+    "normalize_table_id",
+    "run_figure",
+    "run_table",
+    "using_executor",
+    "validate",
 ]

@@ -1,0 +1,152 @@
+"""The stable public API surface of :mod:`repro`.
+
+User scripts, service workers, and downstream tooling should import from
+here (or from :mod:`repro` itself, which re-exports everything in
+``__all__``) instead of reaching into deep modules — the deep paths are
+implementation detail and may move; this surface is covenanted.
+
+The surface:
+
+* **Running paper items** — :func:`run_figure` / :func:`run_table`
+  regenerate any figure or table by id (``"fig06"``, ``6``, ``"table2"``
+  all accepted), through whatever executor is ambient.
+* **Execution** — :class:`~repro.exec.points.SimPoint`,
+  :class:`~repro.exec.executor.SweepExecutor`, :func:`using_executor`,
+  :func:`get_executor`, :class:`~repro.exec.cache.ResultCache`.
+* **Configuration** — :class:`~repro.config.ReproConfig`, the single
+  flag/env/default resolver every entry point shares.
+* **Service** — :class:`~repro.service.queue.JobQueue`, the async job
+  queue behind ``python -m repro.service``.
+* **Validation** — :func:`validate`, the golden/invariant/fuzz gate.
+
+Heavy subsystems (harness registries, the service, the validation gate)
+are imported lazily so ``import repro`` stays light.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .config import ReproConfig, default_jobs
+from .exec.cache import ResultCache
+from .exec.executor import SweepExecutor, get_executor, using_executor
+from .exec.points import SimPoint
+
+__all__ = [
+    "JobQueue",
+    "ReproConfig",
+    "ResultCache",
+    "SimPoint",
+    "SweepExecutor",
+    "default_jobs",
+    "get_executor",
+    "normalize_figure_id",
+    "normalize_item_id",
+    "normalize_table_id",
+    "run_figure",
+    "run_table",
+    "using_executor",
+    "validate",
+]
+
+
+# -- id normalisation --------------------------------------------------------
+
+def normalize_figure_id(figure: int | str) -> str:
+    """Canonical ``figNN`` id from ``6``, ``"6"``, ``"fig6"``, ``"fig06"``.
+
+    Raises :class:`ValueError` for unparsable input; existence against
+    the figure registry is checked by :func:`run_figure`.
+    """
+    raw = str(figure).lower().removeprefix("fig").lstrip("0") or "0"
+    return f"fig{int(raw):02d}"
+
+
+def normalize_table_id(table: int | str) -> str:
+    """Canonical ``tableN`` id from ``2``, ``"2"``, or ``"table2"``."""
+    raw = str(table).lower().removeprefix("table")
+    return f"table{int(raw)}"
+
+
+def normalize_item_id(item: int | str) -> str:
+    """Canonical id for a mixed figure/table identifier.
+
+    Bare numbers are figures (matching the CLI's ``--figure`` shorthand);
+    anything starting with ``table`` is a table.
+    """
+    if str(item).lower().startswith("table"):
+        return normalize_table_id(item)
+    return normalize_figure_id(item)
+
+
+# -- running paper items -----------------------------------------------------
+
+def run_figure(figure: int | str, max_cpus: int | None = None):
+    """Regenerate one paper figure; returns its ``FigureResult``.
+
+    Runs through the ambient executor — install one with
+    :func:`using_executor` (or build one from :class:`ReproConfig`) to
+    parallelise or cache.
+    """
+    from .harness.figures import ALL_FIGURES
+
+    ident = normalize_figure_id(figure)
+    try:
+        fn = ALL_FIGURES[ident]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r} "
+            f"(known: {', '.join(sorted(ALL_FIGURES))})") from None
+    return fn(max_cpus=max_cpus)
+
+
+def run_table(table: int | str, max_cpus: int | None = None):
+    """Regenerate one paper table; returns its ``TableResult``.
+
+    Tables that do not sweep CPUs (1 and 2) ignore ``max_cpus``.
+    """
+    import inspect
+
+    from .harness.tables import ALL_TABLES
+
+    ident = normalize_table_id(table)
+    try:
+        fn = ALL_TABLES[ident]
+    except KeyError:
+        raise KeyError(
+            f"unknown table {table!r} "
+            f"(known: {', '.join(sorted(ALL_TABLES))})") from None
+    if "max_cpus" in inspect.signature(fn).parameters:
+        return fn(max_cpus=max_cpus)
+    return fn()
+
+
+def run_item(item: str, max_cpus: int | None = None):
+    """Dispatch ``figNN`` / ``tableN`` ids to the right runner."""
+    if str(item).lower().startswith("table"):
+        return run_table(item, max_cpus=max_cpus)
+    return run_figure(item, max_cpus=max_cpus)
+
+
+# -- validation --------------------------------------------------------------
+
+def validate(**kwargs) -> Any:
+    """Run the validation gate; returns its ``ValidationReport``.
+
+    Thin stable wrapper over
+    :func:`repro.validate.gate.run_validation` — see there for the
+    keyword arguments (``figures``, ``tables``, ``max_cpus``,
+    ``golden``, ``invariants``, ``fuzz_configs`` ...).
+    """
+    from .validate.gate import run_validation
+
+    return run_validation(**kwargs)
+
+
+# -- lazy attributes ---------------------------------------------------------
+
+def __getattr__(name: str):
+    if name == "JobQueue":
+        from .service.queue import JobQueue
+        return JobQueue
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,209 @@
+"""Unified run configuration: one resolver for flags, env vars, defaults.
+
+Every entry point used to thread its own ad-hoc mix of CLI flags
+(``--jobs``, ``--engine-backend``, ``--cache-dir``, ``--no-cache``) and
+environment variables (``REPRO_JOBS``, ``REPRO_ENGINE_BACKEND``, ...)
+with precedence decided differently per CLI.  :class:`ReproConfig`
+collapses all of that into one frozen dataclass with a single resolution
+rule, applied uniformly to every knob:
+
+    explicit argument  >  environment variable  >  built-in default
+
+:meth:`ReproConfig.from_env_and_args` is the only resolver; the harness
+CLI, the validation CLI, the sweep service, and worker-process
+initialisation all pass the resulting config explicitly instead of
+re-reading ``os.environ`` at different times.
+
+Environment variables:
+
+=====================  =====================================================
+``REPRO_JOBS``         worker processes for sweep fan-out (default: CPUs)
+``REPRO_ENGINE_BACKEND``  event-queue scheduler (see :mod:`repro.core.sched`)
+``REPRO_EXEC_BACKEND`` executor backend (see :mod:`repro.exec.backends`)
+``REPRO_CACHE_DIR``    result-cache directory (default ``.repro_cache``)
+``REPRO_NO_CACHE``     ``1`` disables the on-disk result cache
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Any
+
+from .core import sched
+from .core.errors import ConfigError
+
+#: Environment variable naming the worker-process count.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable naming the executor backend.
+EXEC_BACKEND_ENV = "REPRO_EXEC_BACKEND"
+
+#: Environment variable naming the result-cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the result cache (``1``/``true``).
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+#: Default cache location (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, else the host CPU count."""
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def _env_str(name: str) -> str | None:
+    raw = os.environ.get(name, "").strip()
+    return raw or None
+
+
+def _env_flag(name: str) -> bool | None:
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return None
+    if raw in _TRUE:
+        return True
+    if raw in _FALSE:
+        return False
+    raise ConfigError(f"{name} must be a boolean flag "
+                      f"(1/0/true/false), got {raw!r}")
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Resolved, immutable run configuration.
+
+    Construct via :meth:`from_env_and_args` (or :meth:`defaults` for the
+    pure-default config) rather than by hand, so every field has been
+    validated and the flag/env precedence is consistent.
+    """
+
+    #: Worker processes for sweep fan-out (>= 1).
+    jobs: int
+    #: Discrete-event scheduler backend name (:mod:`repro.core.sched`).
+    engine_backend: str
+    #: Executor backend name (:mod:`repro.exec.backends`).
+    exec_backend: str
+    #: On-disk result-cache directory.
+    cache_dir: str = DEFAULT_CACHE_DIR
+    #: Whether the on-disk result cache is used at all.
+    cache: bool = True
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def defaults(cls) -> "ReproConfig":
+        """The all-defaults config (env vars still consulted)."""
+        return cls.from_env_and_args()
+
+    @classmethod
+    def from_env_and_args(cls, args: Any = None, *,
+                          jobs: int | None = None,
+                          engine_backend: str | None = None,
+                          exec_backend: str | None = None,
+                          cache_dir: str | None = None,
+                          no_cache: bool | None = None) -> "ReproConfig":
+        """Resolve a config: explicit argument > env var > default.
+
+        ``args`` may be an ``argparse.Namespace`` (or any object) whose
+        ``jobs`` / ``engine_backend`` / ``exec_backend`` / ``cache_dir``
+        / ``no_cache`` attributes supply the explicit layer; keyword
+        arguments override even those.  ``None`` (and ``None``-defaulted
+        CLI flags) mean "not given", falling through to the environment.
+
+        Raises :class:`~repro.core.errors.ConfigError` for an unknown
+        backend name and :class:`ValueError` for a malformed
+        ``REPRO_JOBS`` so CLIs can fail with a usage error before any
+        simulation starts.
+        """
+        def arg(name, explicit):
+            if explicit is not None:
+                return explicit
+            return getattr(args, name, None) if args is not None else None
+
+        r_jobs = arg("jobs", jobs)
+        if r_jobs is None:
+            r_jobs = default_jobs()
+        r_jobs = max(1, int(r_jobs))
+
+        r_engine = arg("engine_backend", engine_backend)
+        if r_engine is None:
+            r_engine = _env_str(sched.BACKEND_ENV) or sched.FALLBACK_BACKEND
+        if r_engine not in sched.BACKENDS:
+            raise ConfigError(
+                f"unknown engine backend {r_engine!r} "
+                f"(registered: {', '.join(sched.available_backends())})")
+
+        r_exec = arg("exec_backend", exec_backend)
+        if r_exec is None:
+            r_exec = _env_str(EXEC_BACKEND_ENV)
+        if r_exec is None:
+            # The historical behaviour: serial runs compute in-process,
+            # ``--jobs N`` fans out over a process pool.
+            r_exec = "pool" if r_jobs > 1 else "inline"
+        from .exec import backends as _eb  # deferred: avoids import cycle
+        if r_exec not in _eb.EXEC_BACKENDS:
+            raise ConfigError(
+                f"unknown exec backend {r_exec!r} "
+                f"(registered: {', '.join(_eb.available_exec_backends())})")
+
+        r_cache_dir = arg("cache_dir", cache_dir)
+        if r_cache_dir is None:
+            r_cache_dir = _env_str(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+        r_no_cache = arg("no_cache", no_cache)
+        if r_no_cache is None:
+            r_no_cache = _env_flag(NO_CACHE_ENV) or False
+
+        return cls(jobs=r_jobs, engine_backend=r_engine, exec_backend=r_exec,
+                   cache_dir=str(r_cache_dir), cache=not r_no_cache)
+
+    # -- derived objects ----------------------------------------------------
+
+    def with_overrides(self, **changes) -> "ReproConfig":
+        """A copy with ``changes`` applied (dataclass ``replace``)."""
+        return replace(self, **changes)
+
+    def apply_engine_backend(self) -> None:
+        """Install :attr:`engine_backend` as the process-wide default."""
+        sched.set_default_backend(self.engine_backend)
+
+    def make_cache(self):
+        """A :class:`~repro.exec.cache.ResultCache` per this config.
+
+        Returns ``None`` when caching is disabled.
+        """
+        if not self.cache:
+            return None
+        from .exec.cache import ResultCache
+        return ResultCache(self.cache_dir)
+
+    def make_executor(self, coalescer=None):
+        """A fully configured :class:`~repro.exec.SweepExecutor`."""
+        from .exec.executor import SweepExecutor
+        return SweepExecutor(jobs=self.jobs, cache=self.make_cache(),
+                             backend=self.exec_backend, coalescer=coalescer)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (service status files, bench artifacts)."""
+        return {
+            "jobs": self.jobs,
+            "engine_backend": self.engine_backend,
+            "exec_backend": self.exec_backend,
+            "cache_dir": self.cache_dir,
+            "cache": self.cache,
+        }

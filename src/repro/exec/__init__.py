@@ -3,30 +3,59 @@
 The paper's figures and tables are sweeps of independent simulation
 points (machine x rank-count x benchmark).  This package decomposes those
 sweeps into :class:`SimPoint` units, runs them through a
-:class:`SweepExecutor` (process fan-out + on-disk cache), and merges
-results deterministically so serial and parallel runs are byte-identical.
+:class:`SweepExecutor` whose compute path is a pluggable execution
+backend (:mod:`repro.exec.backends`: ``inline`` serial, ``pool`` process
+fan-out, ``subprocess`` worker fleet), and merges results
+deterministically so every backend produces byte-identical output.
+Results are cached in a multi-tenant content-addressed store
+(:mod:`repro.exec.cache`) shared safely between concurrent runs.
 """
 
-from .cache import DEFAULT_CACHE_DIR, ResultCache, source_fingerprint
+from ..config import DEFAULT_CACHE_DIR, default_jobs
+from .backends import (
+    EXEC_BACKENDS,
+    ExecBackend,
+    ExecBackendError,
+    WorkerContext,
+    available_exec_backends,
+    default_exec_backend_name,
+    init_worker,
+    make_exec_backend,
+    register_exec_backend,
+    set_default_exec_backend,
+)
+from .cache import ResultCache, source_fingerprint
 from .executor import (
     SweepExecutor,
-    default_jobs,
     get_executor,
     set_executor,
     using_executor,
 )
+from .locks import FileLock, LockTimeout
 from .points import SimPoint
 from .worker import PointRecord, compute_point
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "EXEC_BACKENDS",
+    "ExecBackend",
+    "ExecBackendError",
+    "FileLock",
+    "LockTimeout",
     "PointRecord",
     "ResultCache",
     "SimPoint",
     "SweepExecutor",
+    "WorkerContext",
+    "available_exec_backends",
     "compute_point",
+    "default_exec_backend_name",
     "default_jobs",
     "get_executor",
+    "init_worker",
+    "make_exec_backend",
+    "register_exec_backend",
+    "set_default_exec_backend",
     "set_executor",
     "source_fingerprint",
     "using_executor",

@@ -1,0 +1,439 @@
+"""Pluggable execution backends for the sweep executor.
+
+Mirror of :mod:`repro.core.sched`: where that module lifts the engine's
+event queue behind a registry of scheduler backends, this one lifts the
+*executor's* compute path behind a registry of execution backends, so how
+simulation points are fanned out can be swapped without touching sweep
+semantics:
+
+* ``inline`` — compute every point serially in this process.  The
+  reference backend and the library default.
+* ``pool`` — fan points out over a lazily created
+  ``concurrent.futures.ProcessPoolExecutor`` (the pre-registry
+  ``--jobs N`` path).  Degrades to inline computation for a single point
+  or ``jobs == 1``, exactly as before.
+* ``subprocess`` — a persistent fleet of worker subprocesses speaking a
+  line-delimited JSON job protocol over stdin/stdout
+  (:mod:`repro.exec.fleet`).  Functionally equivalent to ``pool`` but
+  with an explicit wire protocol — the seam where future remote (HTTP)
+  workers plug in: anything that can answer the same JSON lines can be a
+  worker.
+
+Every backend honours the same contract: :meth:`ExecBackend.compute`
+takes a sequence of points and returns their records **in input order**
+— which is what keeps figures byte-identical across backends.  Worker
+*transport* failures (a killed worker process, a broken pool) raise
+:class:`ExecBackendError` carrying any already-completed records so the
+executor can requeue only the unfinished points; simulation errors
+raised by a point itself propagate unchanged, as they always did.
+
+Selection: ``SweepExecutor(backend=...)`` takes a name or instance; the
+default comes from :func:`default_exec_backend_name`, wired to the
+``--exec-backend`` CLI flag and the ``REPRO_EXEC_BACKEND`` environment
+variable through :class:`repro.config.ReproConfig`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import subprocess
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..config import EXEC_BACKEND_ENV
+from ..core import sched
+from ..core.errors import ConfigError
+from ..obs.commviz import CommRecorder, get_commviz, set_commviz
+from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from ..obs.timeline import TimelineRecorder, get_timeline, set_timeline
+from .points import SimPoint
+from .worker import PointRecord, compute_point
+
+#: Backend name used when nothing is configured anywhere (the serial
+#: library default; CLIs resolve ``--jobs N > 1`` to ``pool``).
+FALLBACK_EXEC_BACKEND = "inline"
+
+
+class ExecBackendError(RuntimeError):
+    """A worker-transport failure (worker death, broken pool).
+
+    ``done`` maps the indices of points that *did* finish (within the
+    failed :meth:`ExecBackend.compute` call) to their records, so the
+    caller can requeue only what is missing.  Never raised for errors in
+    the simulated points themselves — those propagate as-is.
+    """
+
+    def __init__(self, message: str,
+                 done: dict[int, PointRecord] | None = None) -> None:
+        super().__init__(message)
+        self.done: dict[int, PointRecord] = done or {}
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Everything a worker process must mirror from its parent.
+
+    One picklable/JSON-able object replaces the positional initargs
+    tuple that used to be threaded into the pool initializer: the
+    observability switches plus the scheduler-backend choice (with the
+    ``spawn`` start method a child would otherwise re-resolve its own
+    environment).
+    """
+
+    metrics: bool = False
+    comm: bool = False
+    timeline: bool = False
+    engine_backend: str | None = None
+
+    @classmethod
+    def capture(cls) -> "WorkerContext":
+        """Snapshot the ambient switches of the calling (parent) process."""
+        return cls(metrics=get_metrics().enabled,
+                   comm=get_commviz().enabled,
+                   timeline=get_timeline().enabled,
+                   engine_backend=sched.default_backend_name())
+
+    def to_dict(self) -> dict:
+        return {"metrics": self.metrics, "comm": self.comm,
+                "timeline": self.timeline,
+                "engine_backend": self.engine_backend}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WorkerContext":
+        return cls(metrics=bool(doc.get("metrics")),
+                   comm=bool(doc.get("comm")),
+                   timeline=bool(doc.get("timeline")),
+                   engine_backend=doc.get("engine_backend"))
+
+
+def init_worker(ctx: WorkerContext) -> None:
+    """Initialise a worker process from its parent's :class:`WorkerContext`.
+
+    Used as the process-pool initializer and by the subprocess fleet's
+    ``init`` message.  Workers start with the shared disabled
+    registry/recorders; when the parent runs with them on, each worker
+    gets its own enabled instances so :func:`compute_point` collects
+    per-point snapshots for the deterministic fan-in merge.
+    """
+    if ctx.engine_backend is not None:
+        sched.set_default_backend(ctx.engine_backend)
+    if ctx.metrics:
+        set_metrics(MetricsRegistry(enabled=True))
+    if ctx.comm:
+        set_commviz(CommRecorder(enabled=True))
+    if ctx.timeline:
+        set_timeline(TimelineRecorder(enabled=True))
+
+
+class ExecBackend:
+    """How a batch of simulation points gets computed.
+
+    The contract:
+
+    * :meth:`compute` returns one :class:`PointRecord` per point, in
+      input order.  A transport failure raises :class:`ExecBackendError`
+      with the partial ``done`` map; a point's own exception propagates.
+    * :meth:`close` releases worker resources (idempotent).
+    """
+
+    name: str = "?"
+
+    def compute(self, points: Sequence[SimPoint]) -> list[PointRecord]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class InlineBackend(ExecBackend):
+    """Serial, in-process computation — the reference backend."""
+
+    name = "inline"
+
+    def __init__(self, jobs: int = 1) -> None:
+        # ``jobs`` accepted for factory uniformity; inline ignores it.
+        self.jobs = 1
+
+    def compute(self, points: Sequence[SimPoint]) -> list[PointRecord]:
+        return [compute_point(pt) for pt in points]
+
+
+class PoolBackend(ExecBackend):
+    """Process-pool fan-out via ``concurrent.futures``.
+
+    The pool is created lazily on the first multi-point batch so that
+    executors which only ever see cache hits (or single points) never
+    pay the spawn cost — and captures the parent's
+    :class:`WorkerContext` at that moment.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=init_worker,
+                initargs=(WorkerContext.capture(),),
+            )
+        return self._pool
+
+    def compute(self, points: Sequence[SimPoint]) -> list[PointRecord]:
+        if self.jobs <= 1 or len(points) <= 1:
+            return [compute_point(pt) for pt in points]
+        pool = self._get_pool()
+        try:
+            return list(pool.map(compute_point, points))
+        except BrokenProcessPool as exc:
+            # The pool is unusable from here on; drop it so a retry can
+            # spawn a fresh one.  ``map`` yields no partial results, so
+            # nothing is salvaged.
+            self._pool = None
+            raise ExecBackendError(
+                f"process pool broke while computing "
+                f"{len(points)} points: {exc}") from exc
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class _FleetWorker:
+    """One subprocess speaking the line-delimited JSON job protocol."""
+
+    def __init__(self, ctx: WorkerContext) -> None:
+        env = dict(os.environ)
+        pkg_root = str(Path(__file__).resolve().parent.parent.parent)
+        path = env.get("PYTHONPATH", "")
+        if pkg_root not in path.split(os.pathsep):
+            env["PYTHONPATH"] = (pkg_root + (os.pathsep + path if path
+                                             else ""))
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.exec.fleet"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=env, text=True, bufsize=1,
+        )
+        self.send({"op": "init", "ctx": ctx.to_dict()})
+
+    def send(self, msg: dict) -> None:
+        self.proc.stdin.write(json.dumps(msg, sort_keys=True) + "\n")
+        self.proc.stdin.flush()
+
+    def recv(self) -> dict | None:
+        line = self.proc.stdout.readline()
+        if not line:
+            return None
+        return json.loads(line)
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def close(self) -> None:
+        if self.alive():
+            try:
+                self.send({"op": "shutdown"})
+            except (OSError, ValueError):  # pragma: no cover - racing exit
+                pass
+        try:
+            self.proc.stdin.close()
+        except OSError:  # pragma: no cover
+            pass
+        self.proc.wait(timeout=10)
+
+
+def encode_record(record: PointRecord) -> str:
+    """Pickle + base64 a record for transport inside a JSON line."""
+    return base64.b64encode(
+        pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)).decode()
+
+
+def decode_record(blob: str) -> PointRecord:
+    return pickle.loads(base64.b64decode(blob))
+
+
+def encode_point(point: SimPoint) -> str:
+    return base64.b64encode(
+        pickle.dumps(point, protocol=pickle.HIGHEST_PROTOCOL)).decode()
+
+
+def decode_point(blob: str) -> SimPoint:
+    return pickle.loads(base64.b64decode(blob))
+
+
+class SubprocessBackend(ExecBackend):
+    """Worker-fleet backend: N persistent subprocess workers.
+
+    Points are dealt round-robin across the fleet; each worker runs its
+    share in lock-step (send one job, read its result, send the next) so
+    the pipes can never fill up and deadlock, while the fleet as a whole
+    still computes ``jobs`` points concurrently.  A worker that dies
+    mid-batch surfaces as :class:`ExecBackendError` carrying every
+    record the rest of the fleet completed, so the executor requeues
+    only the lost points.
+    """
+
+    name = "subprocess"
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+        self._fleet: list[_FleetWorker] = []
+        self._ctx: WorkerContext | None = None
+
+    def _ensure_fleet(self, n: int) -> list[_FleetWorker]:
+        ctx = WorkerContext.capture()
+        if self._fleet and ctx != self._ctx:
+            # Observability switches or scheduler default changed since
+            # the fleet started: restart so workers mirror the parent.
+            self.close()
+        self._ctx = ctx
+        while len(self._fleet) < n:
+            self._fleet.append(_FleetWorker(ctx))
+        return self._fleet[:n]
+
+    def compute(self, points: Sequence[SimPoint]) -> list[PointRecord]:
+        if not points:
+            return []
+        n_workers = min(self.jobs, len(points))
+        if n_workers <= 1:
+            # A single worker fleet would just add IPC overhead on top
+            # of a serial computation; short-circuit like ``pool`` does.
+            return [compute_point(pt) for pt in points]
+        fleet = self._ensure_fleet(n_workers)
+        shares: list[list[int]] = [[] for _ in range(n_workers)]
+        for i in range(len(points)):
+            shares[i % n_workers].append(i)
+
+        done: dict[int, PointRecord] = {}
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        def pump(worker: _FleetWorker, share: list[int]) -> None:
+            for i in share:
+                try:
+                    worker.send({"op": "job", "id": i,
+                                 "point": encode_point(points[i])})
+                    reply = worker.recv()
+                except (OSError, ValueError, json.JSONDecodeError) as exc:
+                    with lock:
+                        failures.append(f"worker i/o failed: {exc}")
+                    return
+                if reply is None:
+                    with lock:
+                        failures.append(
+                            f"worker exited mid-batch (point {i})")
+                    return
+                if reply.get("op") == "error":
+                    with lock:
+                        failures.append(
+                            f"point {points[i]} failed in worker: "
+                            f"{reply.get('error')}")
+                    return
+                with lock:
+                    done[reply["id"]] = decode_record(reply["record"])
+
+        threads = [threading.Thread(target=pump, args=(w, s), daemon=True)
+                   for w, s in zip(fleet, shares)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if failures:
+            self.close()  # drop the whole fleet; survivors restart lazily
+            raise ExecBackendError(
+                "; ".join(failures), done=done)
+        return [done[i] for i in range(len(points))]
+
+    def close(self) -> None:
+        fleet, self._fleet = self._fleet, []
+        for worker in fleet:
+            try:
+                worker.close()
+            except (OSError, subprocess.TimeoutExpired):
+                worker.proc.kill()
+
+
+#: Execution-backend registry: name -> factory taking ``jobs``.
+EXEC_BACKENDS: dict[str, Callable[[int], ExecBackend]] = {
+    "inline": InlineBackend,
+    "pool": PoolBackend,
+    "subprocess": SubprocessBackend,
+}
+
+
+def register_exec_backend(name: str,
+                          factory: Callable[[int], ExecBackend]) -> None:
+    """Register an execution backend under ``name`` (overwrites allowed)."""
+    EXEC_BACKENDS[name] = factory
+
+
+def available_exec_backends() -> list[str]:
+    """Registered execution-backend names, sorted."""
+    return sorted(EXEC_BACKENDS)
+
+
+_default_name: str | None = None
+
+
+def set_default_exec_backend(name: str | None) -> str | None:
+    """Set (or with ``None`` clear) the process default; returns the old."""
+    global _default_name
+    if name is not None and name not in EXEC_BACKENDS:
+        raise ConfigError(
+            f"unknown exec backend {name!r} "
+            f"(registered: {', '.join(available_exec_backends())})")
+    previous, _default_name = _default_name, name
+    return previous
+
+
+def default_exec_backend_name(jobs: int = 1) -> str:
+    """Backend used when none is passed: explicit default, env, fallback.
+
+    With nothing configured, ``jobs > 1`` resolves to ``pool`` (the
+    historical ``--jobs N`` behaviour) and ``jobs == 1`` to ``inline``.
+    """
+    if _default_name is not None:
+        return _default_name
+    env = os.environ.get(EXEC_BACKEND_ENV, "").strip()
+    if env:
+        if env not in EXEC_BACKENDS:
+            raise ConfigError(
+                f"{EXEC_BACKEND_ENV}={env!r} names no registered backend "
+                f"(registered: {', '.join(available_exec_backends())})")
+        return env
+    return "pool" if jobs > 1 else FALLBACK_EXEC_BACKEND
+
+
+def make_exec_backend(backend: str | ExecBackend | None = None,
+                      jobs: int = 1) -> ExecBackend:
+    """Resolve ``backend`` (name, instance, or None = default) to a fresh
+    instance sized for ``jobs`` workers."""
+    if backend is None:
+        backend = default_exec_backend_name(jobs)
+    if isinstance(backend, ExecBackend):
+        return backend
+    try:
+        factory = EXEC_BACKENDS[backend]
+    except KeyError:
+        raise ConfigError(
+            f"unknown exec backend {backend!r} "
+            f"(registered: {', '.join(available_exec_backends())})"
+        ) from None
+    return factory(jobs)

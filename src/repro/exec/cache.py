@@ -1,14 +1,25 @@
-"""Content-addressed, on-disk cache of simulation-point results.
+"""Content-addressed, multi-tenant on-disk store of simulation results.
 
-A cache entry's address is ``sha256(fingerprint + point.key())`` where the
-fingerprint hashes the entire ``repro`` source tree.  Any source change —
-a model constant, a collective algorithm, the engine itself — therefore
-invalidates every entry automatically: stale results can never be served.
+A cache entry's address is ``sha256(fingerprint + point.key())`` where
+the fingerprint hashes the entire ``repro`` source tree.  Any source
+change — a model constant, a collective algorithm, the engine itself —
+therefore invalidates every entry automatically: stale results can never
+be served.
 
-Entries are pickled :class:`~repro.exec.worker.PointRecord` objects stored
-under ``.repro_cache/<2-hex>/<64-hex>.pkl`` (sharded to keep directories
-small).  Writes are atomic (tempfile + rename) so concurrent harness runs
-can share one cache directory safely.
+Entries are pickled :class:`~repro.exec.worker.PointRecord` objects
+stored under ``.repro_cache/<fp-16-hex>/<2-hex>/<64-hex>.pkl``: the
+first level is the *generation* directory (a prefix of the source
+fingerprint), the rest shards entries to keep directories small.
+Grouping a generation under one directory is what makes the store
+multi-tenant-manageable: :meth:`ResultCache.gc` can sweep every stale
+generation in one pass without touching the live one, even while other
+tenants (concurrent harness runs, service worker threads, fleet
+subprocesses) keep reading and writing.
+
+Writes are atomic (tempfile + rename) and additionally guarded by a
+per-entry advisory :class:`~repro.exec.locks.FileLock`, so concurrent
+writers of the same entry serialise instead of duplicating work, and
+``gc`` never sweeps a directory out from under a mid-flight write.
 """
 
 from __future__ import annotations
@@ -20,14 +31,18 @@ import shutil
 import tempfile
 from pathlib import Path
 
+from ..config import DEFAULT_CACHE_DIR  # noqa: F401  (re-exported)
 from ..core import sched
+from .locks import FileLock, LockTimeout
 from .points import SimPoint
 
-#: Default cache location (relative to the current working directory).
-DEFAULT_CACHE_DIR = ".repro_cache"
-
 #: Bump when the on-disk record layout changes incompatibly.
-CACHE_FORMAT = 1
+#: v2: entries live under per-generation (fingerprint-prefix)
+#: directories so the store is GC-able per source generation.
+CACHE_FORMAT = 2
+
+#: Hex chars of the fingerprint naming a generation directory.
+GENERATION_PREFIX = 16
 
 _fingerprint_memo: dict[str, str] = {}
 
@@ -72,6 +87,11 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
 
+    @property
+    def generation_dir(self) -> Path:
+        """This source generation's directory within the store."""
+        return self.root / self.fingerprint[:GENERATION_PREFIX]
+
     def _path(self, point: SimPoint) -> Path:
         blob = self.fingerprint + "\n" + point.key()
         # Scheduler backends that can change results (the macro fast-path
@@ -82,7 +102,7 @@ class ResultCache:
         if tag is not None:
             blob += "\n" + tag
         digest = hashlib.sha256(blob.encode()).hexdigest()
-        return self.root / digest[:2] / f"{digest}.pkl"
+        return self.generation_dir / digest[:2] / f"{digest}.pkl"
 
     def get(self, point: SimPoint):
         """Return the cached record for ``point``, or ``None`` on a miss."""
@@ -97,9 +117,22 @@ class ResultCache:
         return record
 
     def put(self, point: SimPoint, record) -> None:
-        """Store ``record`` for ``point`` (atomic write)."""
+        """Store ``record`` for ``point`` (lock-guarded atomic write)."""
         path = self._path(point)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Overwrite unconditionally: an existing entry at this address is
+        # either identical content (same address => same inputs) or a
+        # pre-observability record being upgraded with comm/timeline data.
+        try:
+            with FileLock(path.with_suffix(".lock")):
+                self._write(path, record)
+        except LockTimeout:
+            # A wedged/slow peer must not fail the sweep — fall back to
+            # the plain atomic write (rename still guarantees integrity).
+            self._write(path, record)
+        self.stores += 1
+
+    def _write(self, path: Path, record) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -111,12 +144,41 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
 
     def clear(self) -> None:
-        """Delete the entire cache directory."""
+        """Delete the entire cache directory (every generation)."""
         if self.root.exists():
             shutil.rmtree(self.root)
+
+    # -- multi-tenant maintenance ------------------------------------------
+
+    def generations(self) -> list[str]:
+        """Generation directory names currently present in the store."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and len(p.name) == GENERATION_PREFIX)
+
+    def gc(self, *, keep_current: bool = True) -> dict:
+        """Sweep stale generations; returns ``{removed, kept, bytes}``.
+
+        A generation is stale when its directory name is not the current
+        fingerprint prefix.  With ``keep_current=False`` the live
+        generation is swept too (equivalent to :meth:`clear`, but
+        per-generation and reported).
+        """
+        current = self.fingerprint[:GENERATION_PREFIX]
+        removed, kept, freed = [], [], 0
+        for name in self.generations():
+            gen = self.root / name
+            if keep_current and name == current:
+                kept.append(name)
+                continue
+            freed += sum(f.stat().st_size for f in gen.rglob("*")
+                         if f.is_file())
+            shutil.rmtree(gen, ignore_errors=True)
+            removed.append(name)
+        return {"removed": removed, "kept": kept, "bytes": freed}
 
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,

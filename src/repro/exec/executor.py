@@ -1,88 +1,87 @@
 """Parallel sweep executor with deterministic merge order.
 
 :class:`SweepExecutor` takes a list of independent simulation points,
-satisfies what it can from the result cache, fans the misses out over a
-``ProcessPoolExecutor`` (or computes them inline when ``jobs == 1``), and
-returns values **in the order the points were given**.  Serial and
-parallel runs therefore produce byte-identical figures, CSVs and tables —
-parallelism changes only the wall clock.
+satisfies what it can from the result cache, hands the misses to an
+execution backend (:mod:`repro.exec.backends` — ``inline``, ``pool``, or
+``subprocess``), and returns values **in the order the points were
+given**.  Serial, pooled, and fleet runs therefore produce byte-identical
+figures, CSVs and tables — the backend changes only the wall clock.
 
-The active executor is process-global: library code (the figure/table
-builders) calls :func:`get_executor`, which defaults to a serial,
-cache-less executor so plain API use and the test-suite behave exactly as
-before; the CLI harness installs a configured executor around a run via
-:func:`using_executor`.
+The active executor is ambient per *thread*: library code (the
+figure/table builders) calls :func:`get_executor`, which defaults to a
+serial, cache-less executor so plain API use and the test-suite behave
+exactly as before; the CLI harness installs a configured executor around
+a run via :func:`using_executor`, and the sweep service gives each of
+its worker threads an executor of its own without them stomping on each
+other.
+
+When a :class:`~repro.service.coalesce.PointCoalescer` is attached,
+concurrent executors that miss the cache on the *same* point fingerprint
+share one computation: the first claimant computes and publishes, the
+rest wait and record the point as ``coalesced`` provenance.
 """
 
 from __future__ import annotations
 
 import contextlib
-import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import warnings
 from collections.abc import Sequence
 from time import perf_counter
 from typing import Any
 
+from ..config import default_jobs as _default_jobs
 from ..core import sched
 from ..obs.commviz import get_commviz
 from ..obs.metrics import get_metrics
 from ..obs.timeline import get_timeline
+from .backends import ExecBackend, ExecBackendError, make_exec_backend
 from .cache import ResultCache
 from .points import SimPoint
-from .worker import PointRecord, compute_point, init_worker_metrics
+from .worker import PointRecord, compute_point
 
 
 def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` env var, else the host CPU count."""
-    env = os.environ.get("REPRO_JOBS", "").strip()
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            raise ValueError(
-                f"REPRO_JOBS must be an integer, got {env!r}"
-            ) from None
-    return os.cpu_count() or 1
+    """Deprecated: moved to :func:`repro.config.default_jobs`."""
+    warnings.warn(
+        "repro.exec.executor.default_jobs is deprecated; use "
+        "repro.config.default_jobs (re-exported as repro.exec.default_jobs)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _default_jobs()
 
 
 class SweepExecutor:
-    """Runs batches of :class:`SimPoint` with caching and process fan-out."""
+    """Runs batches of :class:`SimPoint` with caching and backend fan-out."""
 
     def __init__(self, jobs: int | None = None,
-                 cache: ResultCache | None = None) -> None:
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+                 cache: ResultCache | None = None,
+                 backend: str | ExecBackend | None = None,
+                 coalescer=None) -> None:
+        self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
         self.cache = cache
-        self._pool: ProcessPoolExecutor | None = None
+        self.backend = make_exec_backend(backend, self.jobs)
+        self.coalescer = coalescer
         # Cumulative instrumentation (see stats()).
         self.points_total = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.coalesced = 0
+        self.requeued = 0
         self.events = 0
         self.compute_wall_s = 0.0
         #: Per-point provenance log in submission order: each entry is
-        #: {"point", "provenance" ("cached"|"computed"), "wall_s",
-        #: "events"} so every report can tell cached points from
-        #: freshly simulated ones.
+        #: {"point", "provenance" ("cached"|"computed"|"coalesced"),
+        #: "wall_s", "events"} so every report can tell cached points
+        #: from freshly simulated ones.
         self.point_log: list[dict] = []
 
     # -- lifecycle ----------------------------------------------------------
 
-    def _get_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=init_worker_metrics,
-                initargs=(get_metrics().enabled, get_commviz().enabled,
-                          get_timeline().enabled,
-                          sched.default_backend_name()),
-            )
-        return self._pool
-
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release backend worker resources (idempotent)."""
+        self.backend.close()
 
     def __enter__(self) -> "SweepExecutor":
         return self
@@ -97,51 +96,146 @@ class SweepExecutor:
         records: list[PointRecord | None] = [None] * len(points)
         misses: list[tuple[int, SimPoint]] = []
         fresh_idx: set[int] = set()
-        comm_on = get_commviz().enabled
-        tl_on = get_timeline().enabled
+        coalesced_idx: set[int] = set()
         for i, pt in enumerate(points):
-            rec = self.cache.get(pt) if self.cache is not None else None
-            if rec is not None and ((comm_on and rec.comm is None)
-                                    or (tl_on and rec.timeline is None)):
-                # Cached before comm/timeline collection was switched on:
-                # recompute so the report never shows an empty matrix for
-                # work that did run.  The refreshed record replaces it.
-                rec = None
+            rec = self._cache_get(pt)
             if rec is not None:
                 records[i] = rec
             else:
                 misses.append((i, pt))
-                fresh_idx.add(i)
 
-        if misses:
-            t0 = perf_counter()
-            if self.jobs > 1 and len(misses) > 1:
-                pool = self._get_pool()
-                computed = list(pool.map(compute_point,
-                                         [pt for _i, pt in misses]))
-            else:
-                computed = [compute_point(pt) for _i, pt in misses]
-            self.compute_wall_s += perf_counter() - t0
-            for (i, pt), rec in zip(misses, computed):
-                records[i] = rec
-                if self.cache is not None:
-                    self.cache.put(pt, rec)
-
+        # Counted exactly once per *submitted* point, before any compute:
+        # the worker-crash requeue path below re-runs misses without
+        # re-entering run_points, so a requeued point can never be
+        # double-counted in stats() (it used to be, when the retry called
+        # run_points again on the unfinished tail).
         self.points_total += len(points)
         self.cache_hits += len(points) - len(misses)
         self.cache_misses += len(misses)
+
+        if misses:
+            t0 = perf_counter()
+            computed, owned = self._compute_misses([pt for _i, pt in misses])
+            self.compute_wall_s += perf_counter() - t0
+            for ((i, pt), rec, is_owned) in zip(misses, computed, owned):
+                records[i] = rec
+                (fresh_idx if is_owned else coalesced_idx).add(i)
+
+        self.coalesced += len(coalesced_idx)
         self.events += sum(r.events for r in records)
-        self._observe(points, records, fresh_idx)
+        self._observe(points, records, fresh_idx, coalesced_idx)
         return [r.value for r in records]
+
+    def _cache_get(self, pt: SimPoint) -> PointRecord | None:
+        rec = self.cache.get(pt) if self.cache is not None else None
+        if rec is not None and ((get_commviz().enabled and rec.comm is None)
+                                or (get_timeline().enabled
+                                    and rec.timeline is None)):
+            # Cached before comm/timeline collection was switched on:
+            # recompute so the report never shows an empty matrix for
+            # work that did run.  The refreshed record replaces it.
+            return None
+        return rec
+
+    def _cache_put(self, pt: SimPoint, rec: PointRecord) -> None:
+        if self.cache is not None:
+            self.cache.put(pt, rec)
+
+    def _compute_misses(self, pts: list[SimPoint],
+                        ) -> tuple[list[PointRecord], list[bool]]:
+        """Compute cache misses; returns (records, owned-by-us flags).
+
+        Without a coalescer every miss is owned (computed here).  With
+        one, misses whose fingerprint is already in flight in a sibling
+        executor wait for the sibling's record instead of recomputing;
+        owned points are published for those siblings once done.
+
+        Records are written to the cache *here*, before their flight is
+        retired — a claim is only ever granted ownership when the point
+        is durably absent, so a sibling arriving at any moment finds the
+        point either in the cache or in flight, never in between.
+        """
+        if self.coalescer is None:
+            records = self._compute_with_requeue(pts)
+            for pt, rec in zip(pts, records):
+                self._cache_put(pt, rec)
+            return records, [True] * len(pts)
+
+        tag = sched.backend_result_tag()
+        claims = [self.coalescer.claim(
+            pt.key() if tag is None else f"{pt.key()}\n{tag}")
+            for pt in pts]
+        records: list[PointRecord | None] = [None] * len(pts)
+        owned_flags = [c.owner for c in claims]
+        owned_pairs: list[tuple[int, SimPoint]] = []
+        for j, (pt, claim) in enumerate(zip(pts, claims)):
+            if not claim.owner:
+                continue
+            # This executor missed, then won the claim — but a sibling
+            # may have published and retired the same point in between.
+            # Re-check under ownership so that gap never recomputes.
+            rec = self._cache_get(pt)
+            if rec is not None:
+                records[j] = rec
+                owned_flags[j] = False  # computed elsewhere, like a join
+                claim.publish(rec)
+            else:
+                owned_pairs.append((j, pt))
+        try:
+            owned_records = self._compute_with_requeue(
+                [pt for _j, pt in owned_pairs])
+        except BaseException as exc:
+            for j, _pt in owned_pairs:
+                claims[j].fail(exc)
+            raise
+        for (j, pt), rec in zip(owned_pairs, owned_records):
+            records[j] = rec
+            self._cache_put(pt, rec)  # durable before the flight retires
+            claims[j].publish(rec)
+        for j, claim in enumerate(claims):
+            if records[j] is not None or claim.owner:
+                continue
+            rec = claim.wait()
+            if rec is None:
+                # The owner failed; compute it ourselves rather than
+                # propagating someone else's crash into this job.
+                rec = compute_point(pts[j])
+                self._cache_put(pts[j], rec)
+                owned_flags[j] = True
+            records[j] = rec
+        return records, owned_flags
+
+    def _compute_with_requeue(self, pts: list[SimPoint]) -> list[PointRecord]:
+        """Backend compute with inline requeue of transport casualties.
+
+        A worker-fleet/pool crash loses some points but not the batch:
+        whatever finished is kept, the rest are recomputed inline so the
+        sweep still completes (and ``requeued`` counts the casualties).
+        """
+        if not pts:
+            return []
+        try:
+            return list(self.backend.compute(pts))
+        except ExecBackendError as exc:
+            out: list[PointRecord] = []
+            for i, pt in enumerate(pts):
+                rec = exc.done.get(i)
+                if rec is None:
+                    rec = compute_point(pt)
+                    self.requeued += 1
+                out.append(rec)
+            return out
 
     def _observe(self, points: Sequence[SimPoint],
                  records: Sequence[PointRecord],
-                 fresh_idx: set[int]) -> None:
+                 fresh_idx: set[int],
+                 coalesced_idx: set[int] = frozenset()) -> None:
         """Provenance log + metrics/comm/timeline fan-in for one batch.
 
         Only freshly computed points merge their simulation metrics into
-        the ambient registry — a cached point's engine events were *not*
-        executed this run, and counting them would make ``engine.events``
+        the ambient registry — a cached (or coalesced: computed by a
+        sibling executor) point's engine events were *not* executed by
+        this executor, and counting them would make ``engine.events``
         disagree with reality.  Cached points are visible instead through
         ``cache.hits`` and their ``provenance`` tag.
 
@@ -157,9 +251,12 @@ class SweepExecutor:
         for i, pt in enumerate(points):
             rec = records[i]
             fresh = i in fresh_idx
+            provenance = ("computed" if fresh
+                          else "coalesced" if i in coalesced_idx
+                          else "cached")
             self.point_log.append({
                 "point": pt.key(),
-                "provenance": "computed" if fresh else "cached",
+                "provenance": provenance,
                 "wall_s": round(rec.wall_s, 6),
                 "events": rec.events,
             })
@@ -174,8 +271,11 @@ class SweepExecutor:
         if registry.enabled:
             n_fresh = len(fresh_idx)
             registry.counter("exec.points").inc(len(points))
-            registry.counter("cache.hits").inc(len(points) - n_fresh)
+            registry.counter("cache.hits").inc(
+                len(points) - n_fresh - len(coalesced_idx))
             registry.counter("cache.misses").inc(n_fresh)
+            if coalesced_idx:
+                registry.counter("exec.coalesced").inc(len(coalesced_idx))
 
     def stats(self) -> dict:
         """Cumulative counters since construction (snapshot-and-diff safe)."""
@@ -183,37 +283,52 @@ class SweepExecutor:
             "points": self.points_total,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "coalesced": self.coalesced,
+            "requeued": self.requeued,
             "events": self.events,
             "compute_wall_s": self.compute_wall_s,
         }
 
 
-# -- process-global executor context ----------------------------------------
+# -- thread-ambient executor context ----------------------------------------
 
-_current: SweepExecutor | None = None
+_tls = threading.local()
 _default: SweepExecutor | None = None
+_default_lock = threading.Lock()
 
 
 def get_executor() -> SweepExecutor:
-    """The active executor (a serial, cache-less one if none installed)."""
+    """The active executor (a serial, cache-less one if none installed).
+
+    The active executor is per-thread (see :func:`using_executor`); the
+    fallback default is shared process-wide.
+    """
     global _default
-    if _current is not None:
-        return _current
+    current = getattr(_tls, "current", None)
+    if current is not None:
+        return current
     if _default is None:
-        _default = SweepExecutor(jobs=1, cache=None)
+        with _default_lock:
+            if _default is None:
+                _default = SweepExecutor(jobs=1, cache=None,
+                                         backend="inline")
     return _default
 
 
 def set_executor(executor: SweepExecutor | None) -> SweepExecutor | None:
-    """Install ``executor`` as the process-global default; returns the old."""
-    global _current
-    previous, _current = _current, executor
+    """Install ``executor`` as this thread's ambient one; returns the old."""
+    previous = getattr(_tls, "current", None)
+    _tls.current = executor
     return previous
 
 
 @contextlib.contextmanager
 def using_executor(executor: SweepExecutor):
-    """Scope ``executor`` as the active one for a ``with`` block."""
+    """Scope ``executor`` as the active one for a ``with`` block.
+
+    Thread-local: concurrent service jobs each install their own
+    executor without interfering.
+    """
     previous = set_executor(executor)
     try:
         yield executor

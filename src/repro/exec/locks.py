@@ -1,0 +1,133 @@
+"""Advisory file locks for the multi-tenant result store.
+
+The content-addressed cache is shared by concurrent harness runs,
+service worker threads, and fleet subprocesses.  Entry writes were
+already atomic (tempfile + rename), but multi-tenant use adds two races
+worth guarding: duplicate concurrent writes of the same entry (wasted
+work and tempfile churn under load) and ``gc`` sweeping a generation
+directory while a writer is mid-``mkstemp``.  :class:`FileLock` is a
+small advisory lock used around those windows.
+
+``fcntl.flock`` is the primary mechanism (POSIX; locks die with the
+holder, so crashes can never wedge the store).  Where ``fcntl`` is
+unavailable the fallback is an ``O_CREAT | O_EXCL`` lock file with
+stale-lock stealing by age — weaker, but portable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+
+class LockTimeout(TimeoutError):
+    """The lock could not be acquired within the timeout."""
+
+
+class FileLock:
+    """Advisory inter-process lock on ``path`` (a dedicated lock file).
+
+    Usage::
+
+        with FileLock(entry_path.with_suffix(".lock")):
+            ...  # critical section
+
+    Re-entrant use in one process is *not* supported — keep critical
+    sections small instead.
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 timeout: float = 30.0, poll_s: float = 0.01,
+                 stale_after_s: float = 120.0) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_s = poll_s
+        self.stale_after_s = stale_after_s
+        self._fd: int | None = None
+
+    # -- flock path ---------------------------------------------------------
+
+    def _acquire_flock(self) -> None:
+        deadline = time.monotonic() + self.timeout
+        fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                self._fd = fd
+                return
+            except OSError:
+                if time.monotonic() >= deadline:
+                    os.close(fd)
+                    raise LockTimeout(
+                        f"could not lock {self.path} within "
+                        f"{self.timeout}s") from None
+                time.sleep(self.poll_s)
+
+    def _release_flock(self) -> None:
+        fd, self._fd = self._fd, None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+        # Best-effort cleanup; losing the race to a new locker is fine
+        # because flock holds the *open file*, not the directory entry.
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    # -- O_EXCL fallback ----------------------------------------------------
+
+    def _acquire_excl(self) -> None:  # pragma: no cover - non-POSIX
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                self._fd = os.open(self.path,
+                                   os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                                   0o644)
+                return
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                    if age > self.stale_after_s:
+                        self.path.unlink()
+                        continue
+                except OSError:
+                    continue
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"could not lock {self.path} within "
+                        f"{self.timeout}s") from None
+                time.sleep(self.poll_s)
+
+    def _release_excl(self) -> None:  # pragma: no cover - non-POSIX
+        fd, self._fd = self._fd, None
+        os.close(fd)
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "FileLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            self._acquire_flock()
+        else:  # pragma: no cover - non-POSIX
+            self._acquire_excl()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is None:
+            return
+        if fcntl is not None:
+            self._release_flock()
+        else:  # pragma: no cover - non-POSIX
+            self._release_excl()

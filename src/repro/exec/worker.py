@@ -18,16 +18,10 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
-from ..core import sched
 from ..core.engine import EVENT_STATS
-from ..obs.commviz import CommRecorder, get_commviz, set_commviz, using_commviz
-from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics, using_metrics
-from ..obs.timeline import (
-    TimelineRecorder,
-    get_timeline,
-    set_timeline,
-    using_timeline,
-)
+from ..obs.commviz import CommRecorder, get_commviz, using_commviz
+from ..obs.metrics import MetricsRegistry, get_metrics, using_metrics
+from ..obs.timeline import TimelineRecorder, get_timeline, using_timeline
 from ..hpcc import RingConfig, hpl_model_time, run_hpcc, run_ring, run_stream
 from ..hpcc.suite import scaled_config
 from ..imb.framework import PAPER_MSG_BYTES
@@ -63,24 +57,24 @@ class PointRecord:
 def init_worker_metrics(enabled: bool, comm: bool = False,
                         timeline: bool = False,
                         engine_backend: str | None = None) -> None:
-    """Process-pool initializer: mirror the parent's observability switches.
+    """Deprecated: use :func:`repro.exec.backends.init_worker`.
 
-    Worker processes start with the shared disabled registry/recorders;
-    when the parent harness runs with them on, each worker gets its own
-    enabled instances so :func:`compute_point` collects per-point
-    snapshots for the deterministic fan-in merge.  ``engine_backend``
-    pins the parent's scheduler backend choice explicitly — with the
-    ``spawn`` start method the child would otherwise fall back to its
-    own environment.
+    The positional initargs tuple was collapsed into one
+    :class:`~repro.exec.backends.WorkerContext`; this shim forwards for
+    backward compatibility and will be removed in a future release.
     """
-    if engine_backend is not None:
-        sched.set_default_backend(engine_backend)
-    if enabled:
-        set_metrics(MetricsRegistry(enabled=True))
-    if comm:
-        set_commviz(CommRecorder(enabled=True))
-    if timeline:
-        set_timeline(TimelineRecorder(enabled=True))
+    import warnings
+
+    warnings.warn(
+        "repro.exec.worker.init_worker_metrics is deprecated; use "
+        "repro.exec.backends.init_worker(WorkerContext(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .backends import WorkerContext, init_worker
+
+    init_worker(WorkerContext(metrics=enabled, comm=comm, timeline=timeline,
+                              engine_backend=engine_backend))
 
 
 def _ring_hpl(point: SimPoint) -> tuple[float, float]:

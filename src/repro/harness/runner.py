@@ -43,12 +43,13 @@ import time
 from pathlib import Path
 from time import perf_counter
 
+from ..api import normalize_figure_id, normalize_table_id
+from ..config import ReproConfig
 from ..core import sched
 from ..core.errors import ConfigError
 from ..exec import (
-    DEFAULT_CACHE_DIR,
     ResultCache,
-    SweepExecutor,
+    available_exec_backends,
     source_fingerprint,
     using_executor,
 )
@@ -76,17 +77,13 @@ from .tables import ALL_TABLES
 #: Bump when the BENCH_harness.json layout changes incompatibly.
 #: v2: ``harness.engine_backend`` records the scheduler backend the run
 #: used (and joins the ledger ``run_key``).
-BENCH_SCHEMA_VERSION = 2
+#: v3: ``harness.exec_backend`` records the executor backend.
+BENCH_SCHEMA_VERSION = 3
 
-
-def _norm_fig(arg: str) -> str:
-    arg = arg.lower().removeprefix("fig").lstrip("0") or "0"
-    return f"fig{int(arg):02d}"
-
-
-def _norm_table(arg: str) -> str:
-    arg = arg.lower().removeprefix("table")
-    return f"table{int(arg)}"
+# Id normalisation moved to the stable API surface; these aliases keep
+# the historical (internal) names importable.
+_norm_fig = normalize_figure_id
+_norm_table = normalize_table_id
 
 
 class _BadId(Exception):
@@ -179,10 +176,16 @@ def main(argv: list[str] | None = None) -> int:
                          f"({', '.join(sched.available_backends())}; "
                          f"default: {sched.BACKEND_ENV} env var, else "
                          f"{sched.FALLBACK_BACKEND})")
-    ap.add_argument("--no-cache", action="store_true",
+    ap.add_argument("--exec-backend", default=None, metavar="NAME",
+                    help="executor backend for sweep points "
+                         f"({', '.join(available_exec_backends())}; "
+                         "default: REPRO_EXEC_BACKEND env var, else pool "
+                         "for --jobs > 1)")
+    ap.add_argument("--no-cache", action="store_true", default=None,
                     help="disable the on-disk result cache")
-    ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
-                    help="result cache directory (default: %(default)s)")
+    ap.add_argument("--cache-dir", default=None,
+                    help="result cache directory (default: REPRO_CACHE_DIR "
+                         "env var, else .repro_cache)")
     ap.add_argument("--cache-clear", action="store_true",
                     help="delete the result cache before running")
     ap.add_argument("--bench-json", default=None,
@@ -232,29 +235,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
+    # One resolver for every knob: explicit flag > env var > default.
     try:
-        if args.engine_backend is not None:
-            sched.set_default_backend(args.engine_backend)
-        engine_backend = sched.default_backend_name()
-    except ConfigError as exc:
+        config = ReproConfig.from_env_and_args(args)
+        config.apply_engine_backend()
+    except (ConfigError, ValueError) as exc:  # e.g. non-integer REPRO_JOBS
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    engine_backend = config.engine_backend
 
     if args.cache_clear:
-        ResultCache(args.cache_dir).clear()
-        print(f"[cache cleared: {args.cache_dir}]")
+        ResultCache(config.cache_dir).clear()
+        print(f"[cache cleared: {config.cache_dir}]")
         if not figures and not tables and not args.validate:
             return 0
     if not figures and not tables and not args.all and not args.validate:
         ap.print_help()
         return 2
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    try:
-        executor = SweepExecutor(jobs=args.jobs, cache=cache)
-    except ValueError as exc:  # e.g. non-integer REPRO_JOBS
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    cache = config.make_cache()
+    executor = config.make_executor()
 
     if args.validate:
         # Deferred import: repro.validate imports the harness figure/table
@@ -435,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
         "max_cpus": args.max_cpus,
         "jobs": executor.jobs,
         "engine_backend": engine_backend,
+        "exec_backend": config.exec_backend,
         "cache": None if cache is None else str(cache.root),
         "wall_s": round(wall_s, 6),
     }
@@ -467,6 +468,7 @@ def main(argv: list[str] | None = None) -> int:
             "max_cpus": args.max_cpus,
             "jobs": executor.jobs,
             "engine_backend": engine_backend,
+            "exec_backend": config.exec_backend,
             "wall_s": round(wall_s, 6),
             "points": totals["points"],
             "cache_hits": totals["cache_hits"],

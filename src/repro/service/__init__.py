@@ -1,0 +1,39 @@
+"""Simulation-as-a-service: async job queue over the sweep executor.
+
+The paper's value is its sweep; this package serves that sweep to many
+concurrent clients for the price of one simulation.  Three pieces:
+
+* :class:`~repro.service.queue.JobQueue` — bounded-worker async job
+  queue (``submit -> job_id``, ``status``/``poll``/``stream``/
+  ``result``), one executor per job, all sharing one multi-tenant
+  result store;
+* :class:`~repro.service.coalesce.PointCoalescer` — single-flight
+  request coalescing: concurrent jobs that miss the cache on the same
+  simulation-point fingerprint share one computation;
+* :class:`~repro.service.spool.Spool` / ``SpoolServer`` — the durable
+  filesystem front end behind ``python -m repro.service``
+  (``serve`` / ``submit`` / ``status`` / ``gc``).
+"""
+
+from .coalesce import PointCoalescer
+from .queue import JOB_STATES, TERMINAL_STATES, Job, JobQueue
+from .spool import (
+    DEFAULT_SERVICE_DIR,
+    SERVICE_DIR_ENV,
+    Spool,
+    SpoolServer,
+    service_root,
+)
+
+__all__ = [
+    "DEFAULT_SERVICE_DIR",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "PointCoalescer",
+    "SERVICE_DIR_ENV",
+    "Spool",
+    "SpoolServer",
+    "TERMINAL_STATES",
+    "service_root",
+]

@@ -1,0 +1,111 @@
+"""Request coalescing: one computation per in-flight point fingerprint.
+
+Thousands of clients asking for the same figure should pay for one
+simulation.  The content-addressed cache already deduplicates across
+*time* (a warm entry is never recomputed); :class:`PointCoalescer`
+deduplicates across *concurrency*: when several service jobs miss the
+cache on the same :class:`~repro.exec.points.SimPoint` fingerprint at
+the same moment, exactly one executor computes it (the **owner**) and
+the rest (**waiters**) block until the owner publishes the record.
+
+The protocol, enforced by :class:`SweepExecutor`:
+
+1. every cache miss calls :meth:`PointCoalescer.claim` with the point's
+   cache-identity key;
+2. an owner claim *must* end in :meth:`Claim.publish` (success) or
+   :meth:`Claim.fail` (the executor uses try/finally), which wakes every
+   waiter and retires the flight;
+3. :meth:`Claim.wait` returns the published record, or ``None`` if the
+   owner failed — waiters then compute the point themselves rather than
+   inheriting someone else's crash.
+
+The coalescer is in-process (shared across the job queue's worker
+threads); cross-process tenants are already deduplicated by the shared
+cache within one store generation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class _Flight:
+    """One in-flight computation: an event plus its eventual outcome."""
+
+    __slots__ = ("event", "record", "failed")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.record = None
+        self.failed = False
+
+
+class Claim:
+    """The result of claiming a key: either the owner or a waiter."""
+
+    __slots__ = ("key", "owner", "_flight", "_coalescer")
+
+    def __init__(self, key: str, owner: bool, flight: _Flight,
+                 coalescer: "PointCoalescer") -> None:
+        self.key = key
+        self.owner = owner
+        self._flight = flight
+        self._coalescer = coalescer
+
+    def publish(self, record) -> None:
+        """Owner only: hand the computed record to every waiter."""
+        self._flight.record = record
+        self._coalescer._retire(self.key, self._flight)
+
+    def fail(self, exc: BaseException | None = None) -> None:
+        """Owner only: wake waiters empty-handed (they recompute)."""
+        self._flight.failed = True
+        self._coalescer._retire(self.key, self._flight)
+
+    def wait(self, timeout: float | None = None):
+        """Waiter only: block for the owner's record (None on failure)."""
+        if not self._flight.event.wait(timeout):
+            return None
+        if self._flight.failed:
+            return None
+        return self._flight.record
+
+
+class PointCoalescer:
+    """Single-flight map from point fingerprint to in-flight computation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _Flight] = {}
+        #: Cumulative counters: flights owned vs. joins coalesced onto
+        #: an existing flight (monotonic, for service stats).
+        self.owned = 0
+        self.joined = 0
+
+    def claim(self, key: str) -> Claim:
+        """Claim ``key``: owner if no flight is live, else waiter."""
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                self.owned += 1
+                return Claim(key, True, flight, self)
+            self.joined += 1
+            return Claim(key, False, flight, self)
+
+    def _retire(self, key: str, flight: _Flight) -> None:
+        with self._lock:
+            if self._inflight.get(key) is flight:
+                del self._inflight[key]
+        flight.event.set()
+
+    def inflight(self) -> int:
+        """Number of live flights (diagnostics)."""
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"owned": self.owned, "joined": self.joined,
+                    "inflight": len(self._inflight)}

@@ -1,0 +1,368 @@
+"""Async job queue: submit sweeps, poll status, stream progress.
+
+:class:`JobQueue` is the heart of the sweep service.  Jobs (a set of
+figure/table ids plus a CPU cap) are queued and drained by a bounded
+pool of worker *threads*; each worker thread runs its job through its
+own :class:`~repro.exec.executor.SweepExecutor` built from one shared
+:class:`~repro.config.ReproConfig`, so process fan-out and the exec
+backend stay configurable per service, not per request.
+
+Two layers of deduplication make concurrent identical requests cheap:
+
+* every worker shares one multi-tenant result cache, so anything any
+  job has finished computing is a cache hit for the rest;
+* every worker shares one
+  :class:`~repro.service.coalesce.PointCoalescer`, so points that are
+  *currently being computed* by one job are not recomputed by another —
+  two concurrent submissions of the same figure cost one figure's worth
+  of simulation, total.
+
+Observability: each finished job carries its executor's stats (points,
+cache hits/misses, coalesced, requeued, events, compute wall) and, when
+the queue has a ledger path, appends one schema-versioned row to the run
+ledger — the same append-only history the harness writes, with a
+``service`` field naming the job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as _queue
+import threading
+import time
+from pathlib import Path
+from time import perf_counter
+
+from ..api import normalize_figure_id, normalize_item_id, \
+    normalize_table_id, run_item
+from ..config import ReproConfig
+from ..exec.executor import SweepExecutor, using_executor
+from .coalesce import PointCoalescer
+
+#: Job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Terminal job states.
+TERMINAL_STATES = ("done", "failed")
+
+
+class Job:
+    """One submitted request and everything known about its execution."""
+
+    def __init__(self, job_id: str, items: tuple[str, ...],
+                 max_cpus: int | None) -> None:
+        self.id = job_id
+        self.items = items
+        self.max_cpus = max_cpus
+        self.state = "queued"
+        self.error: str | None = None
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.wall_s: float | None = None
+        self.stats: dict = {}
+        self.item_results: list[dict] = []
+        self.artifacts: list[str] = []
+        self.cond = threading.Condition()
+        self.events: list[dict] = []
+
+    def emit(self, kind: str, **data) -> None:
+        with self.cond:
+            self.events.append({"seq": len(self.events), "type": kind,
+                                "job": self.id, **data})
+            self.cond.notify_all()
+
+    def snapshot(self) -> dict:
+        """JSON-able status document (what ``status``/``poll`` return)."""
+        with self.cond:
+            return {
+                "id": self.id,
+                "items": list(self.items),
+                "max_cpus": self.max_cpus,
+                "state": self.state,
+                "error": self.error,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "wall_s": self.wall_s,
+                "stats": dict(self.stats),
+                "item_results": list(self.item_results),
+                "artifacts": list(self.artifacts),
+            }
+
+
+class JobQueue:
+    """Bounded-worker async job queue over the sweep executor."""
+
+    def __init__(self, config: ReproConfig | None = None, *,
+                 workers: int = 2,
+                 cache=None,
+                 artifacts_dir: str | Path | None = None,
+                 ledger_path: str | Path | None = None) -> None:
+        self.config = config if config is not None \
+            else ReproConfig.from_env_and_args()
+        self.config.apply_engine_backend()
+        self.cache = cache if cache is not None else self.config.make_cache()
+        self.coalescer = PointCoalescer()
+        self.artifacts_dir = (Path(artifacts_dir)
+                              if artifacts_dir is not None else None)
+        self.ledger_path = (Path(ledger_path)
+                            if ledger_path is not None else None)
+        self.workers = max(1, int(workers))
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._pending: _queue.Queue = _queue.Queue()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-service-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, items: list[str] | tuple[str, ...] = (), *,
+               figures: list | tuple = (), tables: list | tuple = (),
+               max_cpus: int | None = None,
+               job_id: str | None = None) -> str:
+        """Queue a job; returns its id immediately.
+
+        ``items`` mixes raw ids (``"fig06"``, ``"table2"``, ``"6"``);
+        ``figures``/``tables`` take explicitly typed ids.  Ids are
+        normalised here so ``submit(["6"])`` and ``submit(["fig06"])``
+        are the same request.
+        """
+        if self._closed:
+            raise RuntimeError("JobQueue is closed")
+        idents = [normalize_item_id(raw) for raw in items]
+        idents.extend(normalize_table_id(t) for t in tables)
+        idents.extend(normalize_figure_id(f) for f in figures)
+        if not idents:
+            raise ValueError("job must name at least one figure or table")
+        with self._lock:
+            if job_id is None:
+                job_id = f"job-{next(self._ids):04d}"
+            elif job_id in self._jobs:
+                raise ValueError(f"duplicate job id {job_id!r}")
+            job = Job(job_id, tuple(idents), max_cpus)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+        job.emit("queued", items=list(idents))
+        self._pending.put(job_id)
+        return job_id
+
+    # -- inspection ---------------------------------------------------------
+
+    def _get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def status(self, job_id: str) -> dict:
+        """Status document for one job."""
+        return self._get(job_id).snapshot()
+
+    def poll(self) -> list[dict]:
+        """Status documents for every job, in submission order."""
+        with self._lock:
+            jobs = [self._jobs[i] for i in self._order]
+        return [j.snapshot() for j in jobs]
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        """Block until the job is terminal; returns its final status.
+
+        Raises :class:`TimeoutError` if ``timeout`` elapses first.
+        """
+        job = self._get(job_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with job.cond:
+            while job.state not in TERMINAL_STATES:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {job.state} after {timeout}s")
+                job.cond.wait(remaining)
+        return job.snapshot()
+
+    def stream(self, job_id: str, timeout: float | None = None):
+        """Yield the job's events as they happen, ending at a terminal one.
+
+        ``timeout`` bounds the wait for *each* event, not the whole
+        stream; on expiry a :class:`TimeoutError` is raised.
+        """
+        job = self._get(job_id)
+        idx = 0
+        while True:
+            with job.cond:
+                while idx >= len(job.events):
+                    if not job.cond.wait(timeout):
+                        raise TimeoutError(
+                            f"no event from job {job_id} in {timeout}s")
+                batch = job.events[idx:]
+                idx = len(job.events)
+            for event in batch:
+                yield event
+                if event["type"] in TERMINAL_STATES:
+                    return
+
+    def stats(self) -> dict:
+        """Aggregate queue statistics (jobs by state, dedup totals)."""
+        snaps = self.poll()
+        by_state: dict[str, int] = {}
+        totals = {"points": 0, "cache_hits": 0, "cache_misses": 0,
+                  "coalesced": 0, "requeued": 0, "events": 0,
+                  "computed": 0}
+        for s in snaps:
+            by_state[s["state"]] = by_state.get(s["state"], 0) + 1
+            st = s["stats"]
+            for k in ("points", "cache_hits", "cache_misses", "coalesced",
+                      "requeued", "events"):
+                totals[k] += st.get(k, 0)
+        # Fresh computations = misses that were not satisfied by a
+        # sibling's in-flight computation.
+        totals["computed"] = totals["cache_misses"] - totals["coalesced"]
+        return {"jobs": len(snaps), "by_state": by_state,
+                "workers": self.workers, **totals,
+                "coalescer": self.coalescer.stats()}
+
+    # -- execution ----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._pending.get()
+            if job_id is None:
+                return
+            self._run_job(self._get(job_id))
+
+    def _run_job(self, job: Job) -> None:
+        executor = SweepExecutor(jobs=self.config.jobs,
+                                 cache=self.cache,
+                                 backend=self.config.exec_backend,
+                                 coalescer=self.coalescer)
+        with job.cond:
+            job.state = "running"
+            job.started_at = time.time()
+        job.emit("running")
+        t0 = perf_counter()
+        try:
+            with using_executor(executor):
+                for ident in job.items:
+                    before = executor.stats()
+                    it0 = perf_counter()
+                    result = run_item(ident, max_cpus=job.max_cpus)
+                    item_wall = perf_counter() - it0
+                    after = executor.stats()
+                    paths = self._save_artifacts(job, ident, result)
+                    item_doc = {
+                        "id": ident,
+                        "wall_s": round(item_wall, 6),
+                        **{k: after[k] - before[k]
+                           for k in ("points", "cache_hits", "cache_misses",
+                                     "coalesced", "events")},
+                        "artifacts": paths,
+                    }
+                    with job.cond:
+                        job.item_results.append(item_doc)
+                        job.artifacts.extend(paths)
+                    job.emit("item", **item_doc)
+        except Exception as exc:
+            with job.cond:
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_at = time.time()
+                job.wall_s = round(perf_counter() - t0, 6)
+                job.stats = executor.stats()
+            job.emit("failed", error=job.error)
+        else:
+            with job.cond:
+                job.state = "done"
+                job.finished_at = time.time()
+                job.wall_s = round(perf_counter() - t0, 6)
+                job.stats = executor.stats()
+            job.emit("done", stats=job.stats)
+        finally:
+            executor.close()
+            self._append_ledger(job)
+
+    def _save_artifacts(self, job: Job, ident: str, result) -> list[str]:
+        if self.artifacts_dir is None:
+            return []
+        from ..harness.report import save_figure, save_table
+
+        out = self.artifacts_dir / job.id
+        if ident.startswith("table"):
+            save_table(result, out)
+        else:
+            save_figure(result, out)
+        return sorted(str(p) for p in out.glob(f"{ident}.*"))
+
+    def _append_ledger(self, job: Job) -> None:
+        """One run-ledger row per finished job (same schema as the harness)."""
+        if self.ledger_path is None:
+            return
+        from ..exec.cache import source_fingerprint
+        from ..obs import RunLedger, git_sha, run_key
+
+        stats = job.stats
+        wall = job.wall_s or 0.0
+        RunLedger(self.ledger_path).append({
+            "when": round(time.time(), 3),
+            "git_sha": git_sha(),
+            "fingerprint": source_fingerprint(),
+            "run_key": run_key(list(job.items), job.max_cpus,
+                               self.config.engine_backend),
+            "service": job.id,
+            "state": job.state,
+            "items": list(job.items),
+            "max_cpus": job.max_cpus,
+            "jobs": self.config.jobs,
+            "engine_backend": self.config.engine_backend,
+            "exec_backend": self.config.exec_backend,
+            "wall_s": wall,
+            "points": stats.get("points", 0),
+            "cache_hits": stats.get("cache_hits", 0),
+            "cache_misses": stats.get("cache_misses", 0),
+            "coalesced": stats.get("coalesced", 0),
+            "events": stats.get("events", 0),
+            "events_per_s": (round(stats.get("events", 0) / wall)
+                             if wall > 0 else None),
+        })
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait until every submitted job is terminal; True on success."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for snap in self.poll():
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            try:
+                self.result(snap["id"], timeout=remaining)
+            except TimeoutError:
+                return False
+        return True
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs and shut the worker threads down."""
+        if self._closed:
+            return
+        self._closed = True
+        if wait:
+            self.join()
+        for _ in self._threads:
+            self._pending.put(None)
+        for t in self._threads:
+            t.join(timeout=30)
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(wait=not any(exc))

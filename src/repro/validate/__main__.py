@@ -18,9 +18,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..config import ReproConfig
 from ..core import sched
 from ..core.errors import ConfigError
-from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepExecutor, using_executor
+from ..exec import available_exec_backends, using_executor
 from ..harness.figures import ALL_FIGURES
 from ..harness.runner import _BadId, _norm_fig, _norm_table, _resolve_ids, check_output_paths
 from ..harness.tables import ALL_TABLES
@@ -55,10 +56,16 @@ def main(argv: list[str] | None = None) -> int:
                          f"({', '.join(sched.available_backends())}; "
                          f"default: {sched.BACKEND_ENV} env var, else "
                          f"{sched.FALLBACK_BACKEND})")
-    ap.add_argument("--no-cache", action="store_true",
+    ap.add_argument("--exec-backend", default=None, metavar="NAME",
+                    help="executor backend for sweep points "
+                         f"({', '.join(available_exec_backends())}; "
+                         "default: REPRO_EXEC_BACKEND env var, else pool "
+                         "for --jobs > 1)")
+    ap.add_argument("--no-cache", action="store_true", default=None,
                     help="disable the on-disk result cache")
-    ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
-                    help="result cache directory (default: %(default)s)")
+    ap.add_argument("--cache-dir", default=None,
+                    help="result cache directory (default: REPRO_CACHE_DIR "
+                         "env var, else .repro_cache)")
     ap.add_argument("--skip-golden", action="store_true",
                     help="skip the golden regression gate")
     ap.add_argument("--skip-invariants", action="store_true",
@@ -94,17 +101,10 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_USAGE
 
     try:
-        if args.engine_backend is not None:
-            sched.set_default_backend(args.engine_backend)
-        sched.default_backend_name()
-    except ConfigError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_USAGE
-
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    try:
-        executor = SweepExecutor(jobs=args.jobs, cache=cache)
-    except ValueError as exc:
+        config = ReproConfig.from_env_and_args(args)
+        config.apply_engine_backend()
+        executor = config.make_executor()
+    except (ConfigError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     explicit = bool(figures or tables)

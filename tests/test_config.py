@@ -1,0 +1,154 @@
+"""Tests for the unified run configuration (repro.config)."""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    EXEC_BACKEND_ENV,
+    JOBS_ENV,
+    NO_CACHE_ENV,
+    ReproConfig,
+    default_jobs,
+)
+from repro.core import sched
+from repro.core.errors import ConfigError
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """Every test starts from an unconfigured environment."""
+    for var in (JOBS_ENV, EXEC_BACKEND_ENV, CACHE_DIR_ENV, NO_CACHE_ENV,
+                sched.BACKEND_ENV):
+        monkeypatch.delenv(var, raising=False)
+
+
+# ---------------------------------------------------------------------------
+# Resolution precedence: explicit > env > default
+# ---------------------------------------------------------------------------
+
+def test_defaults():
+    cfg = ReproConfig.from_env_and_args(jobs=1)
+    assert cfg.jobs == 1
+    assert cfg.engine_backend == sched.FALLBACK_BACKEND
+    assert cfg.exec_backend == "inline"
+    assert cfg.cache_dir == DEFAULT_CACHE_DIR
+    assert cfg.cache is True
+
+
+def test_jobs_gt_one_defaults_to_pool():
+    assert ReproConfig.from_env_and_args(jobs=4).exec_backend == "pool"
+
+
+def test_env_layer(monkeypatch, tmp_path):
+    monkeypatch.setenv(JOBS_ENV, "3")
+    monkeypatch.setenv(EXEC_BACKEND_ENV, "subprocess")
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "c"))
+    monkeypatch.setenv(NO_CACHE_ENV, "1")
+    cfg = ReproConfig.from_env_and_args()
+    assert cfg.jobs == 3
+    assert cfg.exec_backend == "subprocess"
+    assert cfg.cache_dir == str(tmp_path / "c")
+    assert cfg.cache is False
+
+
+def test_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "3")
+    monkeypatch.setenv(EXEC_BACKEND_ENV, "subprocess")
+    cfg = ReproConfig.from_env_and_args(jobs=1, exec_backend="inline",
+                                        no_cache=False)
+    assert cfg.jobs == 1
+    assert cfg.exec_backend == "inline"
+    assert cfg.cache is True
+
+
+def test_namespace_args_supply_explicit_layer(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "7")
+    args = argparse.Namespace(jobs=2, engine_backend=None,
+                              exec_backend="inline", cache_dir=None,
+                              no_cache=None)
+    cfg = ReproConfig.from_env_and_args(args)
+    assert cfg.jobs == 2           # Namespace beats env
+    assert cfg.exec_backend == "inline"
+    assert cfg.cache_dir == DEFAULT_CACHE_DIR
+
+
+def test_keyword_beats_namespace():
+    args = argparse.Namespace(jobs=2)
+    assert ReproConfig.from_env_and_args(args, jobs=5).jobs == 5
+
+
+# ---------------------------------------------------------------------------
+# Validation failures
+# ---------------------------------------------------------------------------
+
+def test_unknown_engine_backend():
+    with pytest.raises(ConfigError, match="unknown engine backend"):
+        ReproConfig.from_env_and_args(engine_backend="nope")
+
+
+def test_unknown_exec_backend():
+    with pytest.raises(ConfigError, match="unknown exec backend"):
+        ReproConfig.from_env_and_args(exec_backend="nope")
+
+
+def test_bad_jobs_env(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "lots")
+    with pytest.raises(ValueError, match=JOBS_ENV):
+        ReproConfig.from_env_and_args()
+    with pytest.raises(ValueError, match=JOBS_ENV):
+        default_jobs()
+
+
+def test_bad_no_cache_env(monkeypatch):
+    monkeypatch.setenv(NO_CACHE_ENV, "maybe")
+    with pytest.raises(ConfigError, match=NO_CACHE_ENV):
+        ReproConfig.from_env_and_args()
+
+
+# ---------------------------------------------------------------------------
+# Derived objects & immutability
+# ---------------------------------------------------------------------------
+
+def test_frozen():
+    cfg = ReproConfig.from_env_and_args(jobs=1)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.jobs = 9
+
+
+def test_with_overrides():
+    cfg = ReproConfig.from_env_and_args(jobs=1)
+    other = cfg.with_overrides(jobs=4, exec_backend="pool")
+    assert (other.jobs, other.exec_backend) == (4, "pool")
+    assert cfg.jobs == 1  # original untouched
+
+
+def test_make_cache_respects_no_cache(tmp_path):
+    off = ReproConfig.from_env_and_args(jobs=1, no_cache=True)
+    assert off.make_cache() is None
+    on = ReproConfig.from_env_and_args(jobs=1,
+                                       cache_dir=str(tmp_path / "c"))
+    cache = on.make_cache()
+    assert cache is not None and str(cache.root) == str(tmp_path / "c")
+
+
+def test_make_executor_wires_everything(tmp_path):
+    cfg = ReproConfig.from_env_and_args(
+        jobs=2, exec_backend="inline", cache_dir=str(tmp_path / "c"))
+    ex = cfg.make_executor()
+    assert ex.jobs == 2
+    assert ex.backend.name == "inline"
+    assert ex.cache is not None
+
+
+def test_to_dict_roundtrips_fields():
+    cfg = ReproConfig.from_env_and_args(jobs=2, exec_backend="pool")
+    doc = cfg.to_dict()
+    assert doc == {"jobs": 2, "engine_backend": cfg.engine_backend,
+                   "exec_backend": "pool", "cache_dir": cfg.cache_dir,
+                   "cache": True}
