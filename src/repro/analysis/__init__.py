@@ -13,6 +13,13 @@ from .ratios import (
 # Chrome-trace export lives in repro.obs.exporters now; re-exported here
 # (bypassing the deprecated .chrome_trace shim) for backward compatibility.
 from ..obs.exporters import chrome_trace_events, write_chrome_trace
+from .energy import (
+    RANKED_MACHINES,
+    EnergyProfile,
+    energy_ranking,
+    hpl_energy_profile,
+    hpl_power_w,
+)
 from .fitting import LogGPFit, fit_loggp, fit_report, measure_one_way
 from .scaling import ScalingPoint, ScalingSeries, build_series, ratio_series
 from .utilization import (
@@ -42,6 +49,11 @@ __all__ = [
     "measure_one_way",
     "chrome_trace_events",
     "write_chrome_trace",
+    "EnergyProfile",
+    "RANKED_MACHINES",
+    "energy_ranking",
+    "hpl_energy_profile",
+    "hpl_power_w",
     "UtilizationReport",
     "utilization_report",
     "comm_matrix",

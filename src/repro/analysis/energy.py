@@ -1,0 +1,107 @@
+"""Energy-efficiency ranking of the simulated machines (Green500 style).
+
+The 2006 paper compares its systems on performance and balance ratios;
+energy is the dimension it could not measure.  With a
+:class:`~repro.obs.energy.PowerModel` on every
+:class:`~repro.machine.system.MachineSpec`, this module derives each
+machine's *analytic* energy profile for a sustained HPL run — the same
+closed-form :func:`~repro.hpcc.hpl.hpl_model_time` the figures use, so a
+full ranking costs milliseconds and needs no simulation sweep.
+
+The power accounting during HPL is deliberately simple and stated:
+
+* every rank's core draws its busy wattage for the whole run (HPL keeps
+  the cores pinned on DGEMM between short exchanges);
+* every node pays the constant memory draw and the NIC idle floor;
+* NIC/link *transfer* power is omitted — for HPL its time share is small
+  against the always-on floors, and including it would require a traced
+  run per machine where this profile is meant to be closed-form.  The
+  traced accounting in :mod:`repro.obs.energy` (``--energy``) does price
+  it.
+
+The headline metric is sustained Mflop/s per watt — the Green500 metric
+— alongside total energy-to-solution and the energy-delay product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hpcc.hpl import hpl_model_time
+from ..machine import ALL_MACHINES
+from ..machine.future import FUTURE_MACHINES
+from ..machine.system import MachineSpec
+
+#: Every machine the ranking covers: the paper's systems (with the
+#: NUMALINK3 Altix and X1 SSP variants) plus the future-work projections.
+RANKED_MACHINES: tuple[MachineSpec, ...] = (
+    tuple(ALL_MACHINES) + tuple(FUTURE_MACHINES)
+)
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Analytic energy profile of one machine's sustained HPL run."""
+
+    machine: str            # registry name
+    label: str              # human label
+    nprocs: int             # ranks in the profiled run
+    n_nodes: int
+    hpl_gflops: float       # sustained HPL rate
+    elapsed_s: float        # virtual time-to-solution
+    power_w: float          # modelled sustained system draw
+    mflops_per_w: float     # Green500 metric
+    energy_j: float         # energy-to-solution
+    edp_js: float           # energy-delay product
+
+    @property
+    def power_kw(self) -> float:
+        return self.power_w / 1e3
+
+
+def hpl_power_w(machine: MachineSpec, nprocs: int) -> float:
+    """Modelled sustained system draw (W) during an HPL run.
+
+    All ``nprocs`` cores busy; every occupied node pays its memory and
+    NIC idle floors (see the module docstring for what is omitted).
+    """
+    power = machine.power
+    if power is None:
+        raise ValueError(f"machine {machine.name!r} has no power model")
+    n_nodes = machine.n_nodes(nprocs)
+    return (power.cpu_busy_w * nprocs
+            + (power.mem_w + power.nic_idle_w) * n_nodes)
+
+
+def hpl_energy_profile(machine: MachineSpec,
+                       nprocs: int | None = None) -> EnergyProfile:
+    """Energy profile at ``nprocs`` ranks (default: the machine's max)."""
+    p = machine.max_cpus if nprocs is None else min(nprocs, machine.max_cpus)
+    p = max(1, p)
+    res = hpl_model_time(machine, p)
+    watts = hpl_power_w(machine, p)
+    energy_j = watts * res.elapsed
+    return EnergyProfile(
+        machine=machine.name,
+        label=machine.label,
+        nprocs=p,
+        n_nodes=machine.n_nodes(p),
+        hpl_gflops=res.gflops,
+        elapsed_s=res.elapsed,
+        power_w=watts,
+        mflops_per_w=res.gflops * 1e3 / watts,
+        energy_j=energy_j,
+        edp_js=energy_j * res.elapsed,
+    )
+
+
+def energy_ranking(machines: tuple[MachineSpec, ...] = RANKED_MACHINES,
+                   nprocs: int | None = None) -> list[EnergyProfile]:
+    """Profiles for every machine with a power model, best Mflop/s/W first.
+
+    Ties (same efficiency) order by machine name so the ranking is
+    reproducible byte for byte.
+    """
+    profiles = [hpl_energy_profile(m, nprocs)
+                for m in machines if m.power is not None]
+    return sorted(profiles, key=lambda e: (-e.mflops_per_w, e.machine))

@@ -22,6 +22,7 @@ Environment variables:
 ``REPRO_EXEC_BACKEND`` executor backend (see :mod:`repro.exec.backends`)
 ``REPRO_CACHE_DIR``    result-cache directory (default ``.repro_cache``)
 ``REPRO_NO_CACHE``     ``1`` disables the on-disk result cache
+``REPRO_ENERGY``       ``1`` enables energy accounting (``--energy``)
 =====================  =====================================================
 """
 
@@ -45,6 +46,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Environment variable disabling the result cache (``1``/``true``).
 NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+#: Environment variable enabling energy accounting (``1``/``true``).
+ENERGY_ENV = "REPRO_ENERGY"
 
 #: Default cache location (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -102,6 +106,8 @@ class ReproConfig:
     cache_dir: str = DEFAULT_CACHE_DIR
     #: Whether the on-disk result cache is used at all.
     cache: bool = True
+    #: Whether energy accounting (:mod:`repro.obs.energy`) is recorded.
+    energy: bool = False
 
     # -- construction -------------------------------------------------------
 
@@ -116,7 +122,8 @@ class ReproConfig:
                           engine_backend: str | None = None,
                           exec_backend: str | None = None,
                           cache_dir: str | None = None,
-                          no_cache: bool | None = None) -> "ReproConfig":
+                          no_cache: bool | None = None,
+                          energy: bool | None = None) -> "ReproConfig":
         """Resolve a config: explicit argument > env var > default.
 
         ``args`` may be an ``argparse.Namespace`` (or any object) whose
@@ -169,8 +176,13 @@ class ReproConfig:
         if r_no_cache is None:
             r_no_cache = _env_flag(NO_CACHE_ENV) or False
 
+        r_energy = arg("energy", energy)
+        if r_energy is None:
+            r_energy = _env_flag(ENERGY_ENV) or False
+
         return cls(jobs=r_jobs, engine_backend=r_engine, exec_backend=r_exec,
-                   cache_dir=str(r_cache_dir), cache=not r_no_cache)
+                   cache_dir=str(r_cache_dir), cache=not r_no_cache,
+                   energy=bool(r_energy))
 
     # -- derived objects ----------------------------------------------------
 
@@ -206,4 +218,5 @@ class ReproConfig:
             "exec_backend": self.exec_backend,
             "cache_dir": self.cache_dir,
             "cache": self.cache,
+            "energy": self.energy,
         }

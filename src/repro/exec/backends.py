@@ -53,6 +53,7 @@ from ..config import EXEC_BACKEND_ENV
 from ..core import sched
 from ..core.errors import ConfigError
 from ..obs.commviz import CommRecorder, get_commviz, set_commviz
+from ..obs.energy import EnergyRecorder, get_energy, set_energy
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
 from ..obs.timeline import TimelineRecorder, get_timeline, set_timeline
 from .points import SimPoint
@@ -92,6 +93,7 @@ class WorkerContext:
     metrics: bool = False
     comm: bool = False
     timeline: bool = False
+    energy: bool = False
     engine_backend: str | None = None
 
     @classmethod
@@ -100,11 +102,12 @@ class WorkerContext:
         return cls(metrics=get_metrics().enabled,
                    comm=get_commviz().enabled,
                    timeline=get_timeline().enabled,
+                   energy=get_energy().enabled,
                    engine_backend=sched.default_backend_name())
 
     def to_dict(self) -> dict:
         return {"metrics": self.metrics, "comm": self.comm,
-                "timeline": self.timeline,
+                "timeline": self.timeline, "energy": self.energy,
                 "engine_backend": self.engine_backend}
 
     @classmethod
@@ -112,6 +115,7 @@ class WorkerContext:
         return cls(metrics=bool(doc.get("metrics")),
                    comm=bool(doc.get("comm")),
                    timeline=bool(doc.get("timeline")),
+                   energy=bool(doc.get("energy")),
                    engine_backend=doc.get("engine_backend"))
 
 
@@ -132,6 +136,8 @@ def init_worker(ctx: WorkerContext) -> None:
         set_commviz(CommRecorder(enabled=True))
     if ctx.timeline:
         set_timeline(TimelineRecorder(enabled=True))
+    if ctx.energy:
+        set_energy(EnergyRecorder(enabled=True))
 
 
 class ExecBackend:

@@ -33,6 +33,7 @@ from typing import Any
 from ..config import default_jobs as _default_jobs
 from ..core import sched
 from ..obs.commviz import get_commviz
+from ..obs.energy import get_energy
 from ..obs.metrics import get_metrics
 from ..obs.timeline import get_timeline
 from .backends import ExecBackend, ExecBackendError, make_exec_backend
@@ -130,10 +131,14 @@ class SweepExecutor:
         rec = self.cache.get(pt) if self.cache is not None else None
         if rec is not None and ((get_commviz().enabled and rec.comm is None)
                                 or (get_timeline().enabled
-                                    and rec.timeline is None)):
-            # Cached before comm/timeline collection was switched on:
-            # recompute so the report never shows an empty matrix for
-            # work that did run.  The refreshed record replaces it.
+                                    and rec.timeline is None)
+                                or (get_energy().enabled
+                                    and getattr(rec, "energy", None)
+                                    is None)):
+            # Cached before comm/timeline/energy collection was switched
+            # on: recompute so the report never shows an empty matrix or
+            # zero joules for work that did run.  The refreshed record
+            # replaces it.
             return None
         return rec
 
@@ -239,15 +244,16 @@ class SweepExecutor:
         disagree with reality.  Cached points are visible instead through
         ``cache.hits`` and their ``provenance`` tag.
 
-        Comm matrices and timelines are the opposite case: they are pure
-        virtual-time facts of the simulated run, identical whether the
-        point was recomputed or replayed from the cache, so *every*
-        point's snapshot merges — in input order, which is what makes
-        serial, parallel, and cache-warm sweeps byte-identical.
+        Comm matrices, timelines and energy are the opposite case: they
+        are pure virtual-time facts of the simulated run, identical
+        whether the point was recomputed or replayed from the cache, so
+        *every* point's snapshot merges — in input order, which is what
+        makes serial, parallel, and cache-warm sweeps byte-identical.
         """
         registry = get_metrics()
         commrec = get_commviz()
         tlrec = get_timeline()
+        enrec = get_energy()
         for i, pt in enumerate(points):
             rec = records[i]
             fresh = i in fresh_idx
@@ -268,6 +274,9 @@ class SweepExecutor:
                 commrec.merge(rec.comm)
             if tlrec.enabled and rec.timeline is not None:
                 tlrec.merge(rec.timeline)
+            rec_energy = getattr(rec, "energy", None)
+            if enrec.enabled and rec_energy is not None:
+                enrec.merge(rec_energy)
         if registry.enabled:
             n_fresh = len(fresh_idx)
             registry.counter("exec.points").inc(len(points))

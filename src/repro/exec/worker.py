@@ -20,6 +20,7 @@ from typing import Any
 
 from ..core.engine import EVENT_STATS
 from ..obs.commviz import CommRecorder, get_commviz, using_commviz
+from ..obs.energy import EnergyRecorder, get_energy, using_energy
 from ..obs.metrics import MetricsRegistry, get_metrics, using_metrics
 from ..obs.timeline import TimelineRecorder, get_timeline, using_timeline
 from ..hpcc import RingConfig, hpl_model_time, run_hpcc, run_ring, run_stream
@@ -39,11 +40,12 @@ class PointRecord:
     meaningful perf trajectory.  ``metrics`` is a per-point registry
     snapshot (see :mod:`repro.obs.metrics`), captured only when metrics
     were enabled at computation time; the executor merges fresh points'
-    snapshots into the ambient registry in input order.  ``comm`` and
-    ``timeline`` are commviz/timeline snapshots of the same point — pure
-    virtual-time facts, so unlike host-side metrics they are merged for
-    cached points too (a cache hit replays the same traffic the original
-    simulation produced).
+    snapshots into the ambient registry in input order.  ``comm``,
+    ``timeline`` and ``energy`` are commviz/timeline/energy snapshots of
+    the same point — pure virtual-time facts, so unlike host-side
+    metrics they are merged for cached points too (a cache hit replays
+    the same traffic, occupancy and joules the original simulation
+    produced).
     """
 
     value: Any
@@ -52,6 +54,7 @@ class PointRecord:
     metrics: dict | None = None
     comm: dict | None = None
     timeline: dict | None = None
+    energy: dict | None = None
 
 
 def init_worker_metrics(enabled: bool, comm: bool = False,
@@ -156,11 +159,12 @@ def compute_point(point: SimPoint) -> PointRecord:
     collect = get_metrics().enabled
     comm_on = get_commviz().enabled
     tl_on = get_timeline().enabled
+    en_on = get_energy().enabled
     ev0 = EVENT_STATS["processed"]
     t0 = perf_counter()
-    snapshot = comm_snap = tl_snap = None
-    if collect or comm_on or tl_on:
-        child = commrec = tlrec = None
+    snapshot = comm_snap = tl_snap = en_snap = None
+    if collect or comm_on or tl_on or en_on:
+        child = commrec = tlrec = enrec = None
         with contextlib.ExitStack() as stack:
             if collect:
                 child = MetricsRegistry(enabled=True)
@@ -173,6 +177,10 @@ def compute_point(point: SimPoint) -> PointRecord:
                 tlrec = TimelineRecorder(enabled=True)
                 tlrec.set_phase(point_phase(point))
                 stack.enter_context(using_timeline(tlrec))
+            if en_on:
+                enrec = EnergyRecorder(enabled=True)
+                enrec.set_phase(point_phase(point))
+                stack.enter_context(using_energy(enrec))
             value = fn(point)
         if child is not None:
             snapshot = child.snapshot()
@@ -180,9 +188,12 @@ def compute_point(point: SimPoint) -> PointRecord:
             comm_snap = commrec.snapshot()
         if tlrec is not None:
             tl_snap = tlrec.snapshot()
+        if enrec is not None:
+            en_snap = enrec.snapshot()
     else:
         value = fn(point)
     wall = perf_counter() - t0
     return PointRecord(value=value, wall_s=wall,
                        events=EVENT_STATS["processed"] - ev0,
-                       metrics=snapshot, comm=comm_snap, timeline=tl_snap)
+                       metrics=snapshot, comm=comm_snap, timeline=tl_snap,
+                       energy=en_snap)

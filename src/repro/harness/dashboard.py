@@ -32,7 +32,9 @@ import math
 from pathlib import Path
 
 #: Bump when the embedded run-document layout changes incompatibly.
-REPORT_SCHEMA_VERSION = 1
+#: v2: optional ``energy`` section (per-phase joules + totals) when the
+#: run had energy accounting on; absent key means accounting was off.
+REPORT_SCHEMA_VERSION = 2
 
 # Sequential blue ramp (steps 100..700) — magnitude encoding, light = near zero.
 _SEQ_RAMP = (
@@ -50,6 +52,17 @@ _KIND_COLORS = {
     "nicbus": "#e87ba4",   # slot 5 magenta
 }
 _KIND_ORDER = ("egress", "ingress", "core", "shm", "nicbus")
+
+#: Fixed categorical slot per energy component (stacked bars, power panel).
+_COMPONENT_COLORS = {
+    "cpu_j": "#2a78d6",    # slot 1 blue
+    "mem_j": "#eb6834",    # slot 2 orange
+    "nic_j": "#1baf7a",    # slot 3 aqua
+    "link_j": "#eda100",   # slot 4 yellow
+}
+_COMPONENT_LABELS = {
+    "cpu_j": "cpu", "mem_j": "memory", "nic_j": "nic", "link_j": "links",
+}
 
 #: Span categories reuse the same fixed slots (identity per category).
 _CAT_COLORS = {
@@ -78,6 +91,16 @@ def _fmt_bytes(n: float) -> str:
     return f"{n:.1f} GiB"  # pragma: no cover - loop always returns
 
 
+def _fmt_j(j: float) -> str:
+    if abs(j) >= 1e6:
+        return f"{j / 1e6:.2f} MJ"
+    if abs(j) >= 1e3:
+        return f"{j / 1e3:.2f} kJ"
+    if abs(j) >= 1:
+        return f"{j:.2f} J"
+    return f"{j * 1e3:.2f} mJ"
+
+
 def _fmt_s(sec: float) -> str:
     if sec >= 1:
         return f"{sec:.2f} s"
@@ -100,12 +123,15 @@ def _seq_color(frac: float) -> str:
 def build_run_doc(*, harness: dict, totals: dict, items: list[dict],
                   comm: dict | None, timeline: dict | None,
                   observed: dict | None, spans: list[dict],
-                  ledger: dict | None) -> dict:
+                  ledger: dict | None, energy: dict | None = None) -> dict:
     """Assemble the machine-readable run document the report renders.
 
     ``observed`` is ``{fig_id: {machine: {"critical_path", "straggler",
     "traffic"}}}`` from :mod:`repro.harness.observe`; ``ledger`` is
-    ``{"path", "entries", "trend", "regression"}`` or None.
+    ``{"path", "entries", "trend", "regression"}`` or None; ``energy``
+    is ``{"totals", "phases"}`` from the energy recorder, or None when
+    accounting was off (the key is still present so readers need no
+    version probing).
     """
     return {
         "schema_version": REPORT_SCHEMA_VERSION,
@@ -117,6 +143,7 @@ def build_run_doc(*, harness: dict, totals: dict, items: list[dict],
         "observed": observed or {},
         "spans": spans,
         "ledger": ledger,
+        "energy": energy,
     }
 
 
@@ -321,6 +348,138 @@ def _trend_svg(trend: list) -> str:
     return "".join(parts)
 
 
+def _power_svg(kinds: dict, ph: dict, caption: str) -> str:
+    """Modelled power vs virtual time for one energy phase.
+
+    Prices the time-bucketed network occupancy with the phase's power
+    model: egress/ingress/NIC-bus busy seconds at the NIC active-idle
+    delta, switch-core busy at the link transfer power.  CPU busy is
+    accounted in the joule totals but not time-bucketed, so the curve
+    shows *network* dynamic power; the dashed line is the phase's
+    average total power (all components) for scale.
+    """
+    power = ph.get("power")
+    if not power or not kinds:
+        return '<p class="muted">no bucketed occupancy to price</p>'
+    nic_delta = power["nic_active_w"] - power["nic_idle_w"]
+    weights = {"egress": nic_delta, "ingress": nic_delta,
+               "nicbus": nic_delta, "core": power["link_active_w"]}
+    series = [(k, kinds[k]) for k in ("egress", "ingress", "nicbus", "core")
+              if kinds.get(k, {}).get("buckets")]
+    if not series:
+        return '<p class="muted">no bucketed occupancy to price</p>'
+    # Kinds bucket independently; rebin everything onto the coarsest
+    # width (all widths are powers of two, so bins nest exactly).
+    width_s = max(s["width_s"] for _k, s in series)
+    joules: dict[int, float] = {}
+    for k, s in series:
+        w = s["width_s"]
+        for i, v in s["buckets"].items():
+            j = int(int(i) * w / width_s)
+            joules[j] = joules.get(j, 0.0) + v * weights[k]
+    pts = [(j * width_s, joules[j] / width_s) for j in sorted(joules)]
+    t_max = (max(j for j in joules) + 1) * width_s
+    avg_w = (ph["total_j"] / ph["elapsed_s"]) if ph.get("elapsed_s") else 0.0
+    y_max = max([v for _t, v in pts] + [avg_w]) or 1.0
+
+    width, height, pad_l, pad_b, pad_t = 560, 150, 50, 26, 8
+
+    def sx(t: float) -> float:
+        return pad_l + (t / t_max) * (width - pad_l - 8)
+
+    def sy(v: float) -> float:
+        return pad_t + (1 - v / y_max) * (height - pad_t - pad_b)
+
+    parts = [
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" aria-label="{_esc(caption)}">'
+    ]
+    for frac in (0.0, 0.5, 1.0):
+        y = sy(frac * y_max)
+        parts.append(
+            f'<line x1="{pad_l}" y1="{y:.1f}" x2="{width - 8}" y2="{y:.1f}" '
+            f'stroke="{_GRID}" stroke-width="1"/>'
+            f'<text x="{pad_l - 4}" y="{y + 3:.1f}" text-anchor="end" '
+            f'class="tick">{frac * y_max:.3g}</text>'
+        )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = frac * t_max
+        parts.append(
+            f'<text x="{sx(t):.1f}" y="{height - 10}" text-anchor="middle" '
+            f'class="tick">{t * 1e6:.0f}</text>'
+        )
+    parts.append(
+        f'<text x="{(pad_l + width) / 2}" y="{height - 1}" '
+        f'text-anchor="middle" class="axis">virtual time (us) — '
+        f"y: modelled network power (W)</text>"
+    )
+    path = " ".join(f"{sx(t):.1f},{sy(v):.1f}" for t, v in pts)
+    parts.append(
+        f'<polyline points="{path}" fill="none" '
+        f'stroke="{_COMPONENT_COLORS["nic_j"]}" stroke-width="2" '
+        f'stroke-linejoin="round"><title>network dynamic power</title>'
+        f"</polyline>"
+    )
+    if avg_w > 0:
+        y = sy(avg_w)
+        parts.append(
+            f'<line x1="{pad_l}" y1="{y:.1f}" x2="{width - 8}" y2="{y:.1f}" '
+            f'stroke="{_TEXT_2}" stroke-width="1.5" stroke-dasharray="6 4">'
+            f"<title>average total power {avg_w:.1f} W</title></line>"
+            f'<text x="{width - 10}" y="{y - 4:.1f}" text-anchor="end" '
+            f'class="dlabel">avg {avg_w:.3g} W</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _energy_bars_svg(phases: dict) -> str:
+    """Horizontal stacked bars: joules per component for each phase."""
+    rows = sorted(phases.items(), key=lambda kv: -kv[1]["total_j"])
+    if not rows:
+        return '<p class="muted">no energy recorded</p>'
+    vmax = max(ph["total_j"] for _name, ph in rows) or 1.0
+    width, row_h, pad_l = 560, 20, 210
+    bar_span = width - pad_l - 70
+    height = len(rows) * row_h + 8
+    parts = [
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        f'aria-label="energy per phase by component">'
+    ]
+    for i, (name, ph) in enumerate(rows):
+        y = i * row_h + 3
+        parts.append(
+            f'<text x="{pad_l - 6}" y="{y + 11}" text-anchor="end" '
+            f'class="tick">{_esc(name)}</text>'
+        )
+        x = float(pad_l)
+        for comp in _COMPONENT_COLORS:
+            val = ph.get(comp, 0.0)
+            bw = val / vmax * bar_span
+            if bw <= 0:
+                continue
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{max(bw, 0.8):.1f}" '
+                f'height="{row_h - 6}" fill="{_COMPONENT_COLORS[comp]}">'
+                f"<title>{_esc(name)} {_COMPONENT_LABELS[comp]}: "
+                f"{_esc(_fmt_j(val))}</title></rect>"
+            )
+            x += bw
+        parts.append(
+            f'<text x="{min(x + 4, width - 4):.1f}" y="{y + 11}" '
+            f'class="tick">{_esc(_fmt_j(ph["total_j"]))}</text>'
+        )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span class="key"><span class="swatch" '
+        f'style="background:{_COMPONENT_COLORS[c]}"></span>'
+        f"{_COMPONENT_LABELS[c]}</span>"
+        for c in _COMPONENT_COLORS
+    )
+    return f'{"".join(parts)}<div class="legend">{legend}</div>'
+
+
 # -- page assembly -------------------------------------------------------------
 
 _CSS = """
@@ -396,6 +555,7 @@ def render_html(doc: dict) -> str:
     comm_phases = doc["comm"].get("phases", {})
     tl_phases = doc["timeline"].get("phases", {})
     ledger = doc.get("ledger")
+    energy = doc.get("energy")
 
     tiles = [
         ("git", h.get("git_sha", "unknown")),
@@ -405,6 +565,10 @@ def render_html(doc: dict) -> str:
         ("cache misses", totals.get("cache_misses", 0)),
         ("engine events", f"{totals.get('events', 0):,}"),
     ]
+    if energy is not None:
+        et = energy["totals"]
+        tiles.append(("energy", _fmt_j(et.get("total_j", 0.0))))
+        tiles.append(("avg power", f"{et.get('avg_power_w', 0.0):.3g} W"))
     tiles_html = "".join(
         f'<div class="tile"><div class="v">{_esc(v)}</div>'
         f'<div class="k">{_esc(k)}</div></div>' for k, v in tiles
@@ -453,6 +617,41 @@ def render_html(doc: dict) -> str:
             + _trend_svg(ledger.get("trend", [])) + verdict
         )
 
+    energy_html = ('<p class="muted">energy accounting off for this run '
+                   "(enable with <code>--energy</code>)</p>")
+    if energy is not None:
+        et = energy["totals"]
+        ph_docs = energy.get("phases", {})
+        power_cells = []
+        # Power-vs-time panels for the heaviest phases that also have
+        # bucketed occupancy; capped for page weight, and the cap is
+        # stated rather than silent.
+        cap = 8
+        priced = [(name, ph) for name, ph in
+                  sorted(ph_docs.items(), key=lambda kv: -kv[1]["total_j"])
+                  if tl_phases.get(name)]
+        for name, ph in priced[:cap]:
+            power_cells.append(
+                f'<div class="cell"><h3>{_esc(name)}</h3>'
+                f'{_power_svg(tl_phases[name], ph, f"power {name}")}</div>'
+            )
+        cap_note = ""
+        if len(priced) > cap:
+            cap_note = (f'<p class="muted">showing the {cap} highest-energy '
+                        f"phases of {len(priced)} with occupancy data</p>")
+        elif not priced:
+            cap_note = ('<p class="muted">no power-vs-time panels: bucketed '
+                        "occupancy needs <code>--report</code>'s timeline "
+                        "recorder (it was off or empty)</p>")
+        energy_html = (
+            f'<p class="muted">{_esc(_fmt_j(et["total_j"]))} total '
+            f'({et["avg_power_w"]:.3g} W average over '
+            f'{_esc(_fmt_s(et["elapsed_s"]))} of virtual time); '
+            f'energy-delay product {et["edp_js"]:.4g} J·s</p>'
+            + _energy_bars_svg(ph_docs)
+            + cap_note + f'<div class="grid">{"".join(power_cells)}</div>'
+        )
+
     blob = json.dumps(doc, sort_keys=True).replace("</", "<\\/")
     return f"""<!doctype html>
 <html lang="en"><head><meta charset="utf-8">
@@ -478,6 +677,9 @@ from the critical-path analyser; "binding" is when it sat on the path.</p>
 
 <h2>Harness span waterfall</h2>
 {_spans_svg(doc["spans"])}
+
+<h2>Energy</h2>
+{energy_html}
 
 <h2>Run ledger</h2>
 {ledger_html}

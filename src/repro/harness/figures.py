@@ -363,6 +363,61 @@ def fig15(max_cpus=None):
     return imb_figure("fig15", max_cpus)
 
 
+# ---------------------------------------------------------------------------
+# Fig 16: energy kiviat (not in the paper)
+# ---------------------------------------------------------------------------
+
+#: Fig 16 axes, all "higher is better", each normalised by its best
+#: machine (1 = best), mirroring the Fig 5 kiviat construction.
+ENERGY_KIVIAT_COLUMNS = (
+    "HPL Gflop/s",
+    "Mflop/s per W",
+    "Solutions per MJ",    # 1 / energy-to-solution
+    "1 / EDP",
+)
+
+
+def fig16(max_cpus: int | None = None) -> FigureResult:
+    """Energy kiviat: efficiency axes normalised to the best machine.
+
+    Analytic companion to the Fig 5 kiviat along the energy dimension
+    the paper could not measure.  ``max_cpus`` caps each machine's
+    profiled configuration (``None`` profiles every machine at its own
+    maximum); no simulation points run, so no lru_cache is needed.
+    """
+    from ..analysis.energy import energy_ranking
+
+    profiles = energy_ranking(nprocs=max_cpus)
+    axes = [
+        [p.hpl_gflops for p in profiles],
+        [p.mflops_per_w for p in profiles],
+        [1e6 / p.energy_j for p in profiles],
+        [1.0 / p.edp_js for p in profiles],
+    ]
+    maxima = [max(col) for col in axes]
+    series = tuple(
+        FigureSeries(
+            machine=p.machine,
+            label=p.label,
+            x=tuple(float(i) for i in range(len(axes))),
+            y=tuple(axes[i][j] / maxima[i] for i in range(len(axes))),
+        )
+        for j, p in enumerate(profiles)
+    )
+    return FigureResult(
+        fig_id="fig16",
+        title="Energy efficiency normalised to the best machine (kiviat)",
+        xlabel="energy column index (see ENERGY_KIVIAT_COLUMNS)",
+        ylabel="normalised ratio (best system = 1)",
+        series=series,
+        notes="Not in the paper: modelled HPL energy profiles "
+              "(docs/MODEL.md section 13).",
+        extra={"columns": list(ENERGY_KIVIAT_COLUMNS),
+               "maxima": {c: maxima[i]
+                          for i, c in enumerate(ENERGY_KIVIAT_COLUMNS)}},
+    )
+
+
 ALL_FIGURES = {
     "fig01": fig01,
     "fig02": fig02,
@@ -379,4 +434,5 @@ ALL_FIGURES = {
     "fig13": fig13,
     "fig14": fig14,
     "fig15": fig15,
+    "fig16": fig16,
 }

@@ -55,6 +55,7 @@ from ..exec import (
 )
 from ..obs import (
     CommRecorder,
+    EnergyRecorder,
     MetricsRegistry,
     RunLedger,
     SpanRecorder,
@@ -63,6 +64,7 @@ from ..obs import (
     git_sha,
     run_key,
     using_commviz,
+    using_energy,
     using_metrics,
     using_timeline,
     write_spans_chrome_trace,
@@ -78,7 +80,9 @@ from .tables import ALL_TABLES
 #: v2: ``harness.engine_backend`` records the scheduler backend the run
 #: used (and joins the ledger ``run_key``).
 #: v3: ``harness.exec_backend`` records the executor backend.
-BENCH_SCHEMA_VERSION = 3
+#: v4: optional top-level ``energy`` section (per-component joules and
+#: totals, present only when the run had ``--energy`` on).
+BENCH_SCHEMA_VERSION = 4
 
 # Id normalisation moved to the stable API surface; these aliases keep
 # the historical (internal) names importable.
@@ -157,9 +161,9 @@ def main(argv: list[str] | None = None) -> int:
                     "simulated machines.",
     )
     ap.add_argument("--figure", action="append", default=[],
-                    help="figure number (1-15); repeatable")
+                    help="figure number (1-16); repeatable")
     ap.add_argument("--table", action="append", default=[],
-                    help="table number (1-3); repeatable")
+                    help="table number (1-4); repeatable")
     ap.add_argument("--all", action="store_true",
                     help="regenerate every table and figure")
     ap.add_argument("--max-cpus", type=int, default=None,
@@ -188,6 +192,10 @@ def main(argv: list[str] | None = None) -> int:
                          "env var, else .repro_cache)")
     ap.add_argument("--cache-clear", action="store_true",
                     help="delete the result cache before running")
+    ap.add_argument("--energy", action="store_true", default=None,
+                    help="account energy-to-solution per component "
+                         "(machine power models; adds an energy section "
+                         "to the bench stats, ledger, and HTML report)")
     ap.add_argument("--bench-json", default=None,
                     help="write per-figure perf/cache stats to this path "
                          "(default: BENCH_harness.json for --all runs)")
@@ -297,6 +305,7 @@ def main(argv: list[str] | None = None) -> int:
     registry = MetricsRegistry(enabled=True) if want_obs else None
     commrec = CommRecorder(enabled=True) if want_obs else None
     tlrec = TimelineRecorder(enabled=True) if want_obs else None
+    enrec = EnergyRecorder(enabled=True) if config.energy else None
     spans = SpanRecorder()
     bench_items = []
     cp_reports: dict[str, dict] = {}
@@ -330,6 +339,8 @@ def main(argv: list[str] | None = None) -> int:
         obs_scope.enter_context(using_commviz(commrec))
     if tlrec is not None:
         obs_scope.enter_context(using_timeline(tlrec))
+    if enrec is not None:
+        obs_scope.enter_context(using_energy(enrec))
     try:
         with obs_scope, using_executor(executor):
             for t in tables:
@@ -425,6 +436,15 @@ def main(argv: list[str] | None = None) -> int:
         metrics_path.write_text(json.dumps(metrics_doc, indent=1) + "\n")
         print(f"[metrics -> {metrics_path}]")
 
+    energy_doc = None
+    if enrec is not None:
+        energy_doc = {"totals": enrec.totals(),
+                      "phases": enrec.snapshot()["phases"]}
+        tot = energy_doc["totals"]
+        print(f"[energy: {tot['total_j']:.1f} J total, "
+              f"{tot['avg_power_w']:.1f} W avg, "
+              f"EDP {tot['edp_js']:.3g} J*s]")
+
     item_ids = tables + figures
     sha = git_sha()
     fingerprint = source_fingerprint()
@@ -449,6 +469,8 @@ def main(argv: list[str] | None = None) -> int:
         "totals": totals_doc,
         "items": bench_items,
     }
+    if energy_doc is not None:
+        doc["energy"] = energy_doc
     bench_path.parent.mkdir(parents=True, exist_ok=True)
     bench_path.write_text(json.dumps(doc, indent=1) + "\n")
     print(f"[bench stats -> {bench_path}]")
@@ -459,7 +481,7 @@ def main(argv: list[str] | None = None) -> int:
                        else bench_path.with_name("BENCH_ledger.jsonl"))
         ledger = RunLedger(ledger_path)
         key = run_key(item_ids, args.max_cpus, engine_backend)
-        entry = ledger.append({
+        row = {
             "when": round(time.time(), 3),
             "git_sha": sha,
             "fingerprint": fingerprint,
@@ -476,7 +498,15 @@ def main(argv: list[str] | None = None) -> int:
             "events": totals["events"],
             "events_per_s": (round(totals["events"] / wall_s)
                              if wall_s > 0 else None),
-        })
+        }
+        if energy_doc is not None:
+            # Energy fields ride along only when accounting was on —
+            # rows from energy-off runs carry no placeholders.
+            tot = energy_doc["totals"]
+            row["energy_total_j"] = tot["total_j"]
+            row["energy_avg_power_w"] = tot["avg_power_w"]
+            row["energy_edp_js"] = tot["edp_js"]
+        entry = ledger.append(row)
         verdict = ledger.check_regression(entry)
         ledger_info = {
             "path": str(ledger_path),
@@ -505,6 +535,7 @@ def main(argv: list[str] | None = None) -> int:
             observed=observed_doc,
             spans=spans.to_dicts(),
             ledger=ledger_info,
+            energy=energy_doc,
         )
         report_path = write_report(run_doc, args.report)
         print(f"[report -> {report_path}]")

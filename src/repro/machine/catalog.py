@@ -19,9 +19,91 @@ from __future__ import annotations
 
 from ..core.errors import ConfigError
 from ..io.filesystem import HLRS_FILESYSTEM as _HLRS_FS
+from ..obs.energy import PowerModel
 from .node import NodeSpec
 from .processor import ProcessorSpec
 from .system import MachineSpec, NetworkSpec
+
+# ---------------------------------------------------------------------------
+# Power models
+# ---------------------------------------------------------------------------
+# The 2006 paper measured no power.  These per-component watt estimates
+# come from vendor TDP sheets and contemporary installation power
+# reports, documented per machine in the ``provenance`` field (and in
+# docs/MODEL.md §13).  They exist so ``--energy`` runs can integrate
+# energy-to-solution over the simulated busy intervals — treat absolute
+# joules as order-of-magnitude estimates; the *relative* ranking is the
+# deliverable.
+
+# Itanium 2 Madison 9M @ 1.6 GHz: 122 W TDP; no deep idle states in the
+# 2004 steppings, idle draw ~half of TDP.  SHUB + 4 GB DDR per 2-CPU
+# node ~45 W; NUMALINK4 port ~8 W moving data, ~5 W quiet; router link
+# draw amortised to ~10 W per busy link-second.
+_ALTIX_POWER = PowerModel(
+    cpu_busy_w=122.0, cpu_idle_w=60.0,
+    nic_active_w=8.0, nic_idle_w=5.0,
+    link_active_w=10.0, mem_w=45.0,
+    provenance="Itanium2 Madison 122 W TDP (Intel datasheet); SHUB+DDR "
+               "estimate; NUMALINK port power from SGI NUMAlink white "
+               "paper class figures.",
+)
+
+# Cray X1 node board (4 MSPs + 16 GB + router ports) drew ~1.6 kW of a
+# ~92 kW 64-MSP liquid-cooled cabinet.  Apportioned: ~300 W per MSP
+# busy (vector pipes lit), ~220 W idle (clocks never gate), ~260 W
+# memory per node, ~25 W per active router port.
+_X1_MSP_POWER = PowerModel(
+    cpu_busy_w=300.0, cpu_idle_w=220.0,
+    nic_active_w=25.0, nic_idle_w=18.0,
+    link_active_w=25.0, mem_w=260.0,
+    provenance="Apportioned from Cray X1 cabinet power (~92 kW / 64 "
+               "MSPs, Cray site-prep guide); vector units do not "
+               "clock-gate, hence the high idle fraction.",
+)
+
+# SSP mode addresses the same silicon as 16 quarter-width CPUs: a
+# quarter of an MSP's draw per SSP, same node memory and network.
+_X1_SSP_POWER = PowerModel(
+    cpu_busy_w=75.0, cpu_idle_w=55.0,
+    nic_active_w=25.0, nic_idle_w=18.0,
+    link_active_w=25.0, mem_w=260.0,
+    provenance="X1 MSP budget divided by the 4 SSPs per MSP (same "
+               "silicon, same node board).",
+)
+
+# Opteron 246 @ 2.0 GHz: 89 W TDP, PowerNow! idles near 30 W.  2 GB
+# DDR + chipset ~30 W per node; Myrinet Lanai-XP NIC ~7 W under load.
+_OPTERON_POWER = PowerModel(
+    cpu_busy_w=89.0, cpu_idle_w=30.0,
+    nic_active_w=7.0, nic_idle_w=5.0,
+    link_active_w=6.0, mem_w=30.0,
+    provenance="Opteron 246 89 W TDP (AMD power/thermal datasheet), "
+               "PowerNow! idle; Myrinet M3F-PCIXD-2 card ~7 W (Myricom "
+               "spec sheet).",
+)
+
+# Xeon Nocona @ 3.6 GHz: 103 W TDP and a notoriously high NetBurst
+# idle (~55 W).  6 GB DDR2 + chipset ~40 W; InfiniBand 4x HCA ~10 W.
+_XEON_POWER = PowerModel(
+    cpu_busy_w=103.0, cpu_idle_w=55.0,
+    nic_active_w=10.0, nic_idle_w=7.0,
+    link_active_w=8.0, mem_w=40.0,
+    provenance="Xeon Nocona 103 W TDP (Intel datasheet), NetBurst idle "
+               "draw; Mellanox InfiniHost 4x HCA ~10 W.",
+)
+
+# NEC SX-8: ~10 kW per 8-CPU node including 128 GB FCRAM (NEC quotes
+# ~90 kVA for a 72-node installation).  Apportioned: ~700 W per vector
+# CPU busy, ~520 W idle (no clock gating on the vector pipes), ~3.3 kW
+# node memory, RCU/IXS port ~120 W active.
+_SX8_POWER = PowerModel(
+    cpu_busy_w=700.0, cpu_idle_w=520.0,
+    nic_active_w=120.0, nic_idle_w=90.0,
+    link_active_w=100.0, mem_w=3300.0,
+    provenance="Apportioned from NEC SX-8 installation power (~90 kVA "
+               "/ 72 nodes at HLRS class sites); FCRAM banks dominate "
+               "the node budget.",
+)
 
 # ---------------------------------------------------------------------------
 # SGI Altix BX2
@@ -101,6 +183,7 @@ ALTIX_NL4 = MachineSpec(
             "R-bricks": 48,
         }
     },
+    power=_ALTIX_POWER,
 )
 
 # NUMALINK3 variant of the same box: half the link bandwidth and a less
@@ -135,6 +218,7 @@ ALTIX_NL3 = MachineSpec(
     processor_vendor="Intel",
     system_vendor="SGI",
     notes="Same box measured with the older NUMALINK3 interconnect.",
+    power=_ALTIX_POWER,
 )
 
 # ---------------------------------------------------------------------------
@@ -220,6 +304,7 @@ X1_MSP = MachineSpec(
     processor_vendor="Cray",
     system_vendor="Cray",
     notes="3 compute nodes x 4 MSPs (one node reserved for the system).",
+    power=_X1_MSP_POWER,
 )
 
 X1_SSP = MachineSpec(
@@ -236,6 +321,7 @@ X1_SSP = MachineSpec(
     processor_vendor="Cray",
     system_vendor="Cray",
     notes="Same hardware addressed as 16 single-streaming CPUs per node.",
+    power=_X1_SSP_POWER,
 )
 
 # ---------------------------------------------------------------------------
@@ -299,6 +385,7 @@ OPTERON = MachineSpec(
     processor_vendor="AMD",
     system_vendor="Cray",
     notes="63 compute nodes; the paper's plots stop at 64 CPUs.",
+    power=_OPTERON_POWER,
 )
 
 # ---------------------------------------------------------------------------
@@ -361,6 +448,7 @@ XEON = MachineSpec(
     processor_vendor="Intel",
     system_vendor="Dell",
     notes="1280-node system; the paper's plots stop at 512 CPUs.",
+    power=_XEON_POWER,
 )
 
 # ---------------------------------------------------------------------------
@@ -427,6 +515,7 @@ SX8 = MachineSpec(
     system_vendor="NEC",
     notes="72-node cluster at HLRS; 576 CPUs.",
     extra={"filesystem": _HLRS_FS},
+    power=_SX8_POWER,
 )
 
 # ---------------------------------------------------------------------------

@@ -15,9 +15,14 @@ by ``tests/test_future_machines.py`` and the
 
 from __future__ import annotations
 
+from ..obs.energy import PowerModel
 from .node import NodeSpec
 from .processor import ProcessorSpec
 from .system import MachineSpec, NetworkSpec
+
+# Power models follow the same per-component scheme as the catalog
+# (see docs/MODEL.md §13); like everything else in this module they are
+# projections from public architecture documents, not paper anchors.
 
 # ---------------------------------------------------------------------------
 # IBM Blue Gene/P — 3-D torus, modest cores, extreme scale-out
@@ -58,6 +63,17 @@ _BGP_NET = NetworkSpec(
     bw_efficiency=0.85,
 )
 
+# Blue Gene/P was the efficiency landmark: ~31 kW per 1024-node rack
+# including the torus, ~30 W per 4-core node.  ~6 W per core busy at
+# 850 MHz, ~3.5 W idle; DDR2 + link chips make up the rest.
+_BGP_POWER = PowerModel(
+    cpu_busy_w=6.0, cpu_idle_w=3.5,
+    nic_active_w=2.5, nic_idle_w=1.5,
+    link_active_w=1.0, mem_w=6.0,
+    provenance="IBM BG/P rack power (~31 kW / 1024 nodes, IBM Journal "
+               "of R&D 52(1/2)) apportioned per component.",
+)
+
 BLUEGENE_P = MachineSpec(
     name="bluegene_p",
     label="IBM Blue Gene/P (projection)",
@@ -72,6 +88,7 @@ BLUEGENE_P = MachineSpec(
     processor_vendor="IBM",
     system_vendor="IBM",
     notes="Future-work projection; not calibrated against the paper.",
+    power=_BGP_POWER,
 )
 
 # ---------------------------------------------------------------------------
@@ -113,6 +130,17 @@ _XT4_NET = NetworkSpec(
     bw_efficiency=0.80,
 )
 
+# Opteron 2218-class dual-core: 95 W TDP per socket -> ~47 W per core
+# busy, ~20 W idle with PowerNow!.  SeaStar2 + router ~15 W; 4 GB
+# DDR2 ~20 W per node.
+_XT4_POWER = PowerModel(
+    cpu_busy_w=47.0, cpu_idle_w=20.0,
+    nic_active_w=15.0, nic_idle_w=10.0,
+    link_active_w=5.0, mem_w=20.0,
+    provenance="Opteron dual-core 95 W TDP (AMD datasheet) split per "
+               "core; SeaStar2 power from Cray XT4 site planning.",
+)
+
 CRAY_XT4 = MachineSpec(
     name="cray_xt4",
     label="Cray XT4 (projection)",
@@ -127,6 +155,7 @@ CRAY_XT4 = MachineSpec(
     processor_vendor="AMD",
     system_vendor="Cray",
     notes="Future-work projection; not calibrated against the paper.",
+    power=_XT4_POWER,
 )
 
 # ---------------------------------------------------------------------------
@@ -171,6 +200,17 @@ _X1E_NET = NetworkSpec(
     duplex_factor=1.3,
 )
 
+# X1E doubled compute density on the X1 power envelope: ~340 W per
+# MSP busy at 1.13 GHz, idle fraction as the X1 (no vector clock
+# gating); node memory/network budgets carry over per board.
+_X1E_POWER = PowerModel(
+    cpu_busy_w=340.0, cpu_idle_w=250.0,
+    nic_active_w=25.0, nic_idle_w=18.0,
+    link_active_w=25.0, mem_w=300.0,
+    provenance="Scaled from the X1 cabinet apportionment (same "
+               "network, 2x denser MSP modules per board).",
+)
+
 CRAY_X1E = MachineSpec(
     name="cray_x1e",
     label="Cray X1E (projection)",
@@ -185,6 +225,7 @@ CRAY_X1E = MachineSpec(
     processor_vendor="Cray",
     system_vendor="Cray",
     notes="Future-work projection; the X1 with doubled compute density.",
+    power=_X1E_POWER,
 )
 
 # ---------------------------------------------------------------------------
@@ -229,6 +270,17 @@ _P5_NET = NetworkSpec(
     level_blocking=(1.0, 2.0),
 )
 
+# POWER5+ p575 node: ~5.5 kW for 16 cores + 64 GB + two HPS links ->
+# ~180 W per core busy (module + its memory controller share), ~110 W
+# idle; 64 GB DDR2 ~900 W; HPS adapter ~40 W.
+_P5_POWER = PowerModel(
+    cpu_busy_w=180.0, cpu_idle_w=110.0,
+    nic_active_w=40.0, nic_idle_w=28.0,
+    link_active_w=20.0, mem_w=900.0,
+    provenance="IBM p5-575 site planning (~5.5 kW/node) apportioned "
+               "per component.",
+)
+
 POWER5_CLUSTER = MachineSpec(
     name="power5",
     label="IBM POWER5+ cluster (projection)",
@@ -243,6 +295,7 @@ POWER5_CLUSTER = MachineSpec(
     processor_vendor="IBM",
     system_vendor="IBM",
     notes="Future-work projection; not calibrated against the paper.",
+    power=_P5_POWER,
 )
 
 # ---------------------------------------------------------------------------
@@ -265,6 +318,16 @@ _GIGE_NET = NetworkSpec(
     level_blocking=(1.0, 4.0),
 )
 
+# Same commodity nodes as the XT4 projection, but a ~4 W copper GigE
+# NIC and shallow store-and-forward switches.
+_GIGE_POWER = PowerModel(
+    cpu_busy_w=47.0, cpu_idle_w=20.0,
+    nic_active_w=4.0, nic_idle_w=2.0,
+    link_active_w=3.0, mem_w=20.0,
+    provenance="XT4 node budget with a commodity copper GigE NIC "
+               "(~4 W, typical PHY+MAC datasheet figure).",
+)
+
 GIGE_CLUSTER = MachineSpec(
     name="gige",
     label="GigE Linux cluster (projection)",
@@ -279,6 +342,7 @@ GIGE_CLUSTER = MachineSpec(
     processor_vendor="AMD",
     system_vendor="whitebox",
     notes="Future-work projection: commodity nodes on a TCP network.",
+    power=_GIGE_POWER,
 )
 
 FUTURE_MACHINES = (BLUEGENE_P, CRAY_XT4, CRAY_X1E, POWER5_CLUSTER,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..core.errors import ConfigError
 from ..core.units import GB_S, US
+from ..obs.energy import PowerModel
 from ..network import (
     CrossbarSwitch,
     Fabric,
@@ -99,6 +100,10 @@ class MachineSpec:
     system_vendor: str = ""
     notes: str = ""
     extra: dict = field(default_factory=dict)
+    #: Per-component power states for energy accounting (``--energy``);
+    #: ``None`` means the machine has no power model and energy is not
+    #: recorded for its runs.
+    power: PowerModel | None = None
 
     def __post_init__(self) -> None:
         if self.max_cpus < 1:

@@ -30,6 +30,7 @@ from ..core.errors import ConfigError
 from ..core.rng import DEFAULT_SEED, make_rng
 from ..core.trace import Tracer
 from ..machine.system import MachineSpec
+from ..obs.energy import get_energy
 from .comm import Comm
 from .pt2pt import Transport
 
@@ -138,6 +139,20 @@ class Cluster:
             gen = program(comm, *args, **kwargs)
             procs.append(self.engine.spawn(gen, name=f"rank{r}"))
         elapsed = self.engine.run()
+        enrec = get_energy()
+        if enrec.enabled and self.machine.power is not None:
+            # Price the run's busy intervals: per-rank CPU seconds from
+            # the transport clocks, per-kind network busy seconds from
+            # the fabric's bandwidth servers.
+            enrec.record_run(
+                self.machine.power,
+                machine=self.machine.name,
+                nprocs=self.nprocs,
+                n_nodes=self.n_nodes,
+                elapsed_s=elapsed,
+                cpu_busy_s=self.transport.cpu_busy_s,
+                busy=self.fabric.busy_by_kind(),
+            )
         return RunResult(
             results=[p.result for p in procs],
             elapsed=elapsed,

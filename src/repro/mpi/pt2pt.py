@@ -27,6 +27,7 @@ from ..core.errors import MPIError
 from ..core.trace import MessageRecord, Tracer
 from ..network.netmodel import Fabric
 from ..obs.commviz import get_commviz
+from ..obs.energy import get_energy
 from ..obs.metrics import get_metrics
 from .datatypes import ANY_SOURCE, ANY_TAG, RecvResult, copy_payload
 
@@ -116,6 +117,11 @@ class Transport:
         # hot path instead of three when everything is disabled.
         self._instrumented = (self._m_msgs is not None
                               or self._commrec is not None)
+        # Energy accounting: cumulative CPU-busy virtual seconds across
+        # all ranks, fed to the energy recorder at end of run.  Gated by
+        # one flag fetched here (twin-path: zero cost when off).
+        self._energy_on = get_energy().enabled
+        self.cpu_busy_s = 0.0
 
     # -- CPU bookkeeping -----------------------------------------------------
 
@@ -124,6 +130,8 @@ class Transport:
         begin = max(start, self._cpu_free[rank])
         end = begin + duration
         self._cpu_free[rank] = end
+        if self._energy_on:
+            self.cpu_busy_s += duration
         return end
 
     def cpu_free_at(self, rank: int) -> float:
@@ -213,6 +221,9 @@ class Transport:
             # rendezvous at large sizes).
             t_free = t_cpu_done + nbytes / params.memcpy_bw
             cpu[src] = t_free
+            if self._energy_on:
+                # Overhead + staging copy occupied the sending CPU.
+                self.cpu_busy_s += t_free - begin
             timing = fabric.message_timing(src_node, dst_node, nbytes, t_free)
             engine._push(t_free, send_done.trigger, (None,))
             payload = None if data is None else copy_payload(data)
@@ -229,6 +240,8 @@ class Transport:
                 self._trace(src, dst, nbytes, tag, t_cpu_done, timing.arrival)
         else:
             # Rendezvous: RTS -> (recv posted) -> CTS -> bulk transfer.
+            if self._energy_on:
+                self.cpu_busy_s += params.send_overhead
             rts_arrival = t_cpu_done + fabric.latency(src_node, dst_node)
             pending = _PendingRendezvous(
                 source=src,

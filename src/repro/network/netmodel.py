@@ -172,6 +172,31 @@ class Fabric:
     def shm_resource(self, node: int) -> BandwidthResource:
         return self._shm[node]
 
+    def busy_by_kind(self) -> dict:
+        """Cumulative busy seconds and bytes served per resource kind.
+
+        Every :class:`BandwidthResource` tracks its own ``busy_time`` /
+        ``bytes_served`` unconditionally, so this end-of-run tally is
+        free; the energy accountant prices it in watts.  Kinds appear
+        in a fixed order (egress, ingress, nicbus, core, shm) so the
+        downstream joule sums are byte-identical run to run.
+        """
+        def tally(resources) -> dict:
+            busy = 0.0
+            nbytes = 0.0
+            for r in resources:
+                busy += r.busy_time
+                nbytes += r.bytes_served
+            return {"busy_s": busy, "bytes": nbytes}
+
+        out = {"egress": tally(self._egress),
+               "ingress": tally(self._ingress)}
+        if self._bus is not None:
+            out["nicbus"] = tally(self._bus)
+        out["core"] = tally(self._core.values())
+        out["shm"] = tally(self._shm)
+        return out
+
     def reset(self) -> None:
         """Clear all contention state (used between benchmark repetitions)."""
         for r in self._egress:

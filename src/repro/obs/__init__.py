@@ -40,6 +40,15 @@ from .critical_path import (
     critical_path_report,
     format_critical_path,
 )
+from .energy import (
+    EnergyRecorder,
+    PowerModel,
+    get_energy,
+    integrate_energy,
+    merge_energy_snapshots,
+    set_energy,
+    using_energy,
+)
 from .exporters import (
     chrome_trace_events,
     spans_to_chrome_events,
@@ -74,12 +83,14 @@ __all__ = [
     "CommRecorder",
     "Counter",
     "CriticalPathReport",
+    "EnergyRecorder",
     "Gauge",
     "Histogram",
     "LEDGER_SCHEMA_VERSION",
     "MetricsRegistry",
     "PathSegment",
     "PhaseMatrix",
+    "PowerModel",
     "RunLedger",
     "Span",
     "SpanRecorder",
@@ -89,14 +100,18 @@ __all__ = [
     "critical_path_report",
     "format_critical_path",
     "get_commviz",
+    "get_energy",
     "get_metrics",
     "get_timeline",
     "git_sha",
+    "integrate_energy",
     "merge_comm_snapshots",
+    "merge_energy_snapshots",
     "merge_snapshots",
     "merge_timeline_snapshots",
     "run_key",
     "set_commviz",
+    "set_energy",
     "set_metrics",
     "set_timeline",
     "spans_from_tracer",
@@ -104,6 +119,7 @@ __all__ = [
     "straggler_profile",
     "summary_table",
     "using_commviz",
+    "using_energy",
     "using_metrics",
     "using_timeline",
     "write_chrome_trace",

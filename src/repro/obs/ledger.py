@@ -29,7 +29,15 @@ from pathlib import Path
 #: v2: entries carry ``engine_backend`` and it joins ``run_key`` — runs
 #: under different scheduler backends are different work, so their
 #: events/s never compete in the same trailing-median window.
-LEDGER_SCHEMA_VERSION = 2
+#: v4: energy-accounted runs carry ``energy_total_j`` /
+#: ``energy_avg_power_w`` / ``energy_edp_js``; energy-off rows omit the
+#: fields entirely rather than null-padding them.  (v3 was never used
+#: for the ledger — the number jumps to stay aligned with
+#: ``BENCH_SCHEMA_VERSION``.)  Readers stay version-lenient: any
+#: well-formed row with a ``schema_version`` parses, whatever its
+#: vintage, and trend/regression queries simply skip fields a row does
+#: not have.
+LEDGER_SCHEMA_VERSION = 4
 
 #: Comparable runs required before regression flagging switches on.
 MIN_HISTORY = 3

@@ -42,6 +42,15 @@ EXIT_OK = 0
 EXIT_JOB_FAILED = 1
 EXIT_USAGE = 2
 
+#: Status-document fields the plain ``status`` listing already renders
+#: (or deliberately summarises); anything else in a document is a newer
+#: server's addition and is printed verbatim as ``key=value``.
+_STATUS_LISTED_FIELDS = frozenset({
+    "schema_version", "id", "items", "max_cpus", "submitted_at",
+    "started_at", "finished_at", "config", "state", "error", "job",
+    "wall_s", "stats", "item_results", "artifacts",
+})
+
 
 def _add_config_flags(ap: argparse.ArgumentParser) -> None:
     ap.add_argument("--jobs", "-j", type=int, default=None,
@@ -60,6 +69,10 @@ def _add_config_flags(ap: argparse.ArgumentParser) -> None:
                          "env var, else .repro_cache)")
     ap.add_argument("--no-cache", action="store_true", default=None,
                     help="disable the on-disk result cache")
+    ap.add_argument("--energy", action="store_true", default=None,
+                    help="account energy-to-solution per job (machine "
+                         "power models; adds energy fields to the "
+                         "service ledger rows)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -184,6 +197,11 @@ def main(argv: list[str] | None = None) -> int:
                 else ""
             err = doc.get("error")
             extra += f" error={err}" if err else ""
+            # Forward compatibility: a newer server may stamp status
+            # fields this listing does not know about — show them as
+            # key=value instead of silently dropping them.
+            for key in sorted(set(doc) - _STATUS_LISTED_FIELDS):
+                extra += f" {key}={json.dumps(doc[key], sort_keys=True)}"
             print(f"{doc.get('id')}  {doc.get('state'):8s} "
                   f"[{items}]{extra}")
         return EXIT_OK

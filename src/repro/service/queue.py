@@ -30,6 +30,7 @@ import itertools
 import queue as _queue
 import threading
 import time
+from contextlib import nullcontext as _nullcontext
 from pathlib import Path
 from time import perf_counter
 
@@ -37,6 +38,7 @@ from ..api import normalize_figure_id, normalize_item_id, \
     normalize_table_id, run_item
 from ..config import ReproConfig
 from ..exec.executor import SweepExecutor, using_executor
+from ..obs.energy import EnergyRecorder, using_energy
 from .coalesce import PointCoalescer
 
 #: Job lifecycle states.
@@ -61,6 +63,7 @@ class Job:
         self.finished_at: float | None = None
         self.wall_s: float | None = None
         self.stats: dict = {}
+        self.energy: dict | None = None
         self.item_results: list[dict] = []
         self.artifacts: list[str] = []
         self.cond = threading.Condition()
@@ -75,7 +78,7 @@ class Job:
     def snapshot(self) -> dict:
         """JSON-able status document (what ``status``/``poll`` return)."""
         with self.cond:
-            return {
+            doc = {
                 "id": self.id,
                 "items": list(self.items),
                 "max_cpus": self.max_cpus,
@@ -89,6 +92,9 @@ class Job:
                 "item_results": list(self.item_results),
                 "artifacts": list(self.artifacts),
             }
+            if self.energy is not None:
+                doc["energy"] = dict(self.energy)
+            return doc
 
 
 class JobQueue:
@@ -246,13 +252,20 @@ class JobQueue:
                                  cache=self.cache,
                                  backend=self.config.exec_backend,
                                  coalescer=self.coalescer)
+        # Per-job energy accounting: the recorder is scoped to this
+        # worker *thread* (see repro.obs.energy), so concurrent jobs
+        # never mix joules.
+        enrec = (EnergyRecorder(enabled=True) if self.config.energy
+                 else None)
+        en_scope = (using_energy(enrec) if enrec is not None
+                    else _nullcontext())
         with job.cond:
             job.state = "running"
             job.started_at = time.time()
         job.emit("running")
         t0 = perf_counter()
         try:
-            with using_executor(executor):
+            with en_scope, using_executor(executor):
                 for ident in job.items:
                     before = executor.stats()
                     it0 = perf_counter()
@@ -279,6 +292,8 @@ class JobQueue:
                 job.finished_at = time.time()
                 job.wall_s = round(perf_counter() - t0, 6)
                 job.stats = executor.stats()
+                if enrec is not None:
+                    job.energy = enrec.totals()
             job.emit("failed", error=job.error)
         else:
             with job.cond:
@@ -286,6 +301,8 @@ class JobQueue:
                 job.finished_at = time.time()
                 job.wall_s = round(perf_counter() - t0, 6)
                 job.stats = executor.stats()
+                if enrec is not None:
+                    job.energy = enrec.totals()
             job.emit("done", stats=job.stats)
         finally:
             executor.close()
@@ -312,7 +329,7 @@ class JobQueue:
 
         stats = job.stats
         wall = job.wall_s or 0.0
-        RunLedger(self.ledger_path).append({
+        row = {
             "when": round(time.time(), 3),
             "git_sha": git_sha(),
             "fingerprint": source_fingerprint(),
@@ -333,7 +350,14 @@ class JobQueue:
             "events": stats.get("events", 0),
             "events_per_s": (round(stats.get("events", 0) / wall)
                              if wall > 0 else None),
-        })
+        }
+        if job.energy is not None:
+            # Present only on energy-accounted jobs — energy-off rows
+            # omit the fields rather than null-padding them.
+            row["energy_total_j"] = job.energy["total_j"]
+            row["energy_avg_power_w"] = job.energy["avg_power_w"]
+            row["energy_edp_js"] = job.energy["edp_js"]
+        RunLedger(self.ledger_path).append(row)
 
     # -- lifecycle ----------------------------------------------------------
 

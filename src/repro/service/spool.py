@@ -218,6 +218,10 @@ class SpoolServer:
                        stats=job_doc["stats"],
                        item_results=job_doc["item_results"],
                        artifacts=job_doc["artifacts"])
+            if "energy" in job_doc:
+                # Only energy-accounted jobs carry the field — no
+                # null-padding of energy-off statuses.
+                doc["energy"] = job_doc["energy"]
         return doc
 
     def step(self) -> int:

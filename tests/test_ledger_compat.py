@@ -1,0 +1,79 @@
+"""Ledger backward compatibility: old rows must outlive schema bumps.
+
+``tests/data/ledger_legacy_rows.jsonl`` is a committed sample of one
+history file as it accumulates across repository eras — schema v1
+(no engine backend), v2, a v3-stamped row, one malformed merge scar,
+and a v4 energy-accounted row.  Readers are version-lenient by
+contract: every well-formed row parses whatever its vintage, trend and
+regression queries span the eras, and only rows that actually carry
+energy fields have them.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+from repro.obs.ledger import LEDGER_SCHEMA_VERSION, MIN_HISTORY, RunLedger
+from repro.validate.gate import check_ledger
+
+SAMPLE = "tests/data/ledger_legacy_rows.jsonl"
+KEY = "feedfacecafe"
+
+
+def _ledger(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    shutil.copy(SAMPLE, path)
+    return RunLedger(path)
+
+
+def test_legacy_rows_all_parse_and_scar_is_skipped(tmp_path):
+    ledger = _ledger(tmp_path)
+    entries = ledger.entries()
+    assert [e["schema_version"] for e in entries] == [1, 2, 2, 3, 4]
+    assert ledger.skipped == 1  # the merge scar, counted never fatal
+
+
+def test_energy_fields_only_on_energy_rows(tmp_path):
+    entries = _ledger(tmp_path).entries()
+    with_energy = [e for e in entries if "energy_total_j" in e]
+    assert [e["schema_version"] for e in with_energy] == [4]
+    assert with_energy[0]["energy_avg_power_w"] > 0
+    assert with_energy[0]["energy_edp_js"] > 0
+
+
+def test_trend_spans_schema_versions(tmp_path):
+    rows = _ledger(tmp_path).trend(KEY, "wall_s")
+    assert len(rows) == 5  # v1 through v4 all contribute
+    assert rows[0] == ("aaaa111", 10.5)
+    assert rows[-1] == ("eeee555", 10.0)
+
+
+def test_regression_gates_fresh_entry_against_legacy_history(tmp_path):
+    ledger = _ledger(tmp_path)
+    assert len(ledger.entries()) > MIN_HISTORY
+    slow = {"run_key": KEY, "wall_s": 40.0, "events_per_s": 20000}
+    verdict = ledger.check_regression(slow)
+    assert verdict["checked"] and not verdict["ok"]
+    assert {r["field"] for r in verdict["regressions"]} == \
+        {"wall_s", "events_per_s"}
+
+    fine = {"run_key": KEY, "wall_s": 10.2, "events_per_s": 100000}
+    assert ledger.check_regression(fine)["ok"]
+
+
+def test_appending_after_the_bump_stamps_current_version(tmp_path):
+    ledger = _ledger(tmp_path)
+    stamped = ledger.append({"run_key": KEY, "wall_s": 9.9,
+                             "events_per_s": 103000})
+    assert stamped["schema_version"] == LEDGER_SCHEMA_VERSION == 4
+    versions = [e["schema_version"] for e in ledger.entries()]
+    assert versions == [1, 2, 2, 3, 4, 4]
+
+
+def test_validation_gate_accepts_mixed_era_ledger(tmp_path):
+    ledger = _ledger(tmp_path)
+    report = check_ledger(ledger.path)
+    assert report["ok"]
+    assert report["entries"] == 5
+    assert report["malformed"] == 1
+    assert report["checked"]  # enough same-key history to compare

@@ -3,6 +3,7 @@
 import math
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -389,3 +390,70 @@ def test_split_payload_sizes_match_balanced_split(n, parts):
     data = np.arange(n, dtype=np.float64)
     chunks = split_payload(data, parts)
     assert [len(c) for c in chunks] == balanced_split(n, parts)
+
+
+# -- timeline series -----------------------------------------------------------------
+
+from repro.obs.timeline import RESOLUTION, TimelineSeries  # noqa: E402
+
+_intervals = st.lists(
+    st.tuples(st.floats(0, 1e3), st.floats(0, 10), st.floats(0, 1e6)),
+    max_size=40,
+)
+
+
+def _build_series(ivals):
+    s = TimelineSeries()
+    for start, dur, nbytes in ivals:
+        s.add(start, start + dur, nbytes)
+    return s
+
+
+@given(_intervals)
+def test_timeline_snapshot_merge_round_trip_exact(ivals):
+    """to_dict -> merge into a fresh series -> to_dict is bit-identical,
+    whatever order the intervals arrived in."""
+    s = _build_series(ivals)
+    snap = s.to_dict()
+    t = TimelineSeries()
+    t.merge(snap)
+    assert t.to_dict() == snap
+
+
+@given(_intervals, _intervals)
+def test_timeline_merge_adds_mass_exactly(a_ivals, b_ivals):
+    a, b = _build_series(a_ivals), _build_series(b_ivals)
+    m = TimelineSeries()
+    m.merge(a.to_dict())
+    m.merge(b.to_dict())
+    # Fold-in starts from 0.0 accumulators, so the totals are the exact
+    # float sums, not approximations.
+    assert m.count == a.count + b.count
+    assert m.busy_s == a.busy_s + b.busy_s
+    assert m.bytes == a.bytes + b.bytes
+
+
+@given(_intervals, st.integers(1, 8))
+def test_timeline_halving_preserves_mass(ivals, halvings):
+    """Merging into a coarser series (any number of width halvings in
+    reverse) keeps busy_s/bytes exact and bucket mass conserved."""
+    s = _build_series(ivals)
+    coarse = TimelineSeries()
+    coarse.exp = s.exp + halvings
+    coarse.merge(s.to_dict())
+    assert coarse.exp == s.exp + halvings  # coarser side sets the width
+    assert coarse.busy_s == s.busy_s
+    assert coarse.bytes == s.bytes
+    assert coarse.count == s.count
+    assert sum(coarse.buckets.values()) == pytest.approx(
+        sum(s.buckets.values()), rel=1e-12, abs=1e-12)
+    # Every coarse index is a fold of fine indices: i >> halvings.
+    want = set(int(k) >> halvings for k in s.buckets)
+    assert set(coarse.buckets) == want
+
+
+@given(_intervals)
+def test_timeline_bucket_count_stays_bounded(ivals):
+    s = _build_series(ivals)
+    assert len(s.buckets) <= RESOLUTION + 1
+    assert s.busy_s == pytest.approx(sum(dur for _, dur, _ in ivals))

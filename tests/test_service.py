@@ -281,3 +281,65 @@ def test_spool_wait_roundtrip(tmp_path):
                          "--no-cache"]) == 0
     doc = spool.wait(rid, timeout=5)
     assert doc["state"] == "done"
+
+
+# ---------------------------------------------------------------------------
+# Per-job energy accounting
+# ---------------------------------------------------------------------------
+
+def test_job_energy_present_only_when_enabled(tmp_path):
+    with JobQueue(_config(tmp_path, no_cache=True), workers=1) as q:
+        off = q.result(q.submit([FIG], max_cpus=CAP), timeout=60)
+    assert off["state"] == "done"
+    assert "energy" not in off  # energy-off jobs never null-pad the field
+
+    with JobQueue(_config(tmp_path, no_cache=True, energy=True),
+                  workers=1) as q:
+        on = q.result(q.submit([FIG], max_cpus=CAP), timeout=60)
+    assert on["state"] == "done"
+    assert on["energy"]["runs"] > 0
+    assert on["energy"]["total_j"] > 0
+    assert on["energy"]["avg_power_w"] > 0
+
+
+def test_concurrent_jobs_isolate_energy(tmp_path):
+    """Two identical energy jobs draining in parallel worker threads must
+    each account exactly one sweep — no cross-job joule bleed."""
+    with JobQueue(_config(tmp_path, no_cache=True, energy=True),
+                  workers=2) as q:
+        ids = [q.submit([FIG], max_cpus=CAP) for _ in range(2)]
+        docs = [q.result(i, timeout=120) for i in ids]
+    assert all(d["state"] == "done" for d in docs)
+    blobs = [json.dumps(d["energy"], sort_keys=True) for d in docs]
+    assert blobs[0] == blobs[1]  # same work -> byte-identical joules
+
+
+def test_service_ledger_rows_carry_energy_only_when_enabled(tmp_path):
+    ledger = tmp_path / "svc_ledger.jsonl"
+    with JobQueue(_config(tmp_path, no_cache=True), workers=1,
+                  ledger_path=ledger) as q:
+        q.result(q.submit([FIG], max_cpus=CAP), timeout=60)
+    with JobQueue(_config(tmp_path, no_cache=True, energy=True), workers=1,
+                  ledger_path=ledger) as q:
+        q.result(q.submit([FIG], max_cpus=CAP), timeout=60)
+    rows = [json.loads(line) for line in ledger.read_text().splitlines()]
+    assert len(rows) == 2
+    assert "energy_total_j" not in rows[0]
+    assert rows[1]["energy_total_j"] > 0
+    assert rows[1]["energy_avg_power_w"] > 0
+
+
+def test_status_listing_prints_unknown_schema_fields(tmp_path, capsys):
+    """The plain listing must surface fields it does not know about —
+    a newer server's energy stamp shows up instead of vanishing."""
+    spool = Spool(tmp_path / "svc").ensure()
+    spool.write_status("20260809-000000-abc123", {
+        "schema_version": 1, "id": "20260809-000000-abc123",
+        "items": [FIG], "state": "done", "wall_s": 1.5,
+        "energy": {"total_j": 42.0},
+        "novel_field": "from-the-future",
+    })
+    assert service_main(["--root", str(tmp_path / "svc"), "status"]) == 0
+    out = capsys.readouterr().out
+    assert 'energy={"total_j": 42.0}' in out
+    assert 'novel_field="from-the-future"' in out
