@@ -40,10 +40,13 @@ __all__ = [
     "SweepExecutor",
     "default_jobs",
     "get_executor",
+    "list_scenarios",
     "normalize_figure_id",
     "normalize_item_id",
     "normalize_table_id",
     "run_figure",
+    "run_item",
+    "run_scenario",
     "run_table",
     "using_executor",
     "validate",
@@ -69,14 +72,26 @@ def normalize_table_id(table: int | str) -> str:
 
 
 def normalize_item_id(item: int | str) -> str:
-    """Canonical id for a mixed figure/table identifier.
+    """Canonical id for a mixed figure/table/scenario identifier.
 
     Bare numbers are figures (matching the CLI's ``--figure`` shorthand);
-    anything starting with ``table`` is a table.
+    anything starting with ``table`` is a table; any other string is
+    accepted verbatim when it names a registered scenario (so the
+    service can submit e.g. ``app_cg`` by name).
     """
-    if str(item).lower().startswith("table"):
+    s = str(item)
+    if s.lower().startswith("table"):
         return normalize_table_id(item)
-    return normalize_figure_id(item)
+    try:
+        return normalize_figure_id(item)
+    except ValueError:
+        from .scenarios import has_scenario
+
+        if has_scenario(s):
+            return s
+        raise ValueError(
+            f"unknown item {item!r}: not a figure/table id or a "
+            "registered scenario name") from None
 
 
 # -- running paper items -----------------------------------------------------
@@ -122,10 +137,35 @@ def run_table(table: int | str, max_cpus: int | None = None):
 
 
 def run_item(item: str, max_cpus: int | None = None):
-    """Dispatch ``figNN`` / ``tableN`` ids to the right runner."""
-    if str(item).lower().startswith("table"):
+    """Dispatch ``figNN`` / ``tableN`` / scenario ids to the right runner."""
+    s = str(item)
+    if s.lower().startswith("table"):
         return run_table(item, max_cpus=max_cpus)
+    try:
+        normalize_figure_id(item)
+    except ValueError:
+        return run_scenario(s, max_cpus=max_cpus)
     return run_figure(item, max_cpus=max_cpus)
+
+
+def run_scenario(scenario: str, max_cpus: int | None = None):
+    """Regenerate one registered scenario by name.
+
+    Scenarios are the declarative layer behind every figure/table (see
+    :mod:`repro.scenarios`): builtins plus any ``scenarios/*.toml`` /
+    ``REPRO_SCENARIO_PATH`` files.  Raises
+    :class:`~repro.scenarios.ScenarioError` for unknown names.
+    """
+    from .scenarios import run_scenario as _run
+
+    return _run(scenario, max_cpus=max_cpus)
+
+
+def list_scenarios() -> tuple[str, ...]:
+    """Ids of every registered scenario (builtin + discovered TOML)."""
+    from .scenarios import scenario_ids
+
+    return scenario_ids()
 
 
 # -- validation --------------------------------------------------------------

@@ -80,9 +80,59 @@ def init_worker_metrics(enabled: bool, comm: bool = False,
                               engine_backend=engine_backend))
 
 
+def point_machine(point: SimPoint):
+    """Resolve a point's machine, including user-defined projections.
+
+    Scenario files may declare machines that exist only in their TOML
+    (``machine_base``/``machine_cpus``/``machine_label`` params): the
+    projection recipe rides on the point itself, so any worker process
+    can rebuild the machine and the params salt the cache key — two
+    different projections never share cache entries.
+    """
+    base = point.param("machine_base")
+    if base is None:
+        return get_machine(point.machine)
+    from dataclasses import replace
+
+    m = get_machine(base).scaled(int(point.param("machine_cpus")),
+                                 name=point.machine)
+    label = point.param("machine_label")
+    if label is not None:
+        m = replace(m, label=str(label))
+    return m
+
+
+def _fault_setup(point: SimPoint):
+    """Build the ``fabric_setup`` hook for a fault-injection point.
+
+    Returns None for healthy points so they keep the exact legacy
+    code path (including the IMB macro fast-path, which a degraded
+    fabric must bypass).
+    """
+    kind = point.param("fault")
+    if kind is None:
+        return None
+    from ..machine import faults
+
+    if kind == "slow_node":
+        node = int(point.param("fault_node", 0))
+        factor = float(point.param("fault_factor"))
+        return lambda fabric: faults.slow_node(fabric, node=node,
+                                               factor=factor)
+    if kind == "degrade_core":
+        level = int(point.param("fault_level", 0))
+        factor = float(point.param("fault_factor"))
+        return lambda fabric: faults.degrade_core(fabric, level=level,
+                                                  factor=factor)
+    if kind == "add_latency":
+        extra_s = float(point.param("fault_extra_us")) * 1e-6
+        return lambda fabric: faults.add_latency(fabric, extra_s)
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
 def _ring_hpl(point: SimPoint) -> tuple[float, float]:
     """(HPL TFlop/s, accumulated random-ring GB/s) at one rank count."""
-    m = get_machine(point.machine)
+    m = point_machine(point)
     p = point.nprocs
     hpl = hpl_model_time(m, p).tflops
     ring = run_ring(m, p, RingConfig(n_rings=point.param("n_rings", 4)))
@@ -91,7 +141,7 @@ def _ring_hpl(point: SimPoint) -> tuple[float, float]:
 
 def _stream_hpl(point: SimPoint) -> tuple[float, float]:
     """(HPL TFlop/s, accumulated EP-STREAM Copy GB/s) at one rank count."""
-    m = get_machine(point.machine)
+    m = point_machine(point)
     p = point.nprocs
     hpl = hpl_model_time(m, p).tflops
     stream = run_stream(m, min(p, 8))  # embarrassingly parallel
@@ -100,26 +150,41 @@ def _stream_hpl(point: SimPoint) -> tuple[float, float]:
 
 def _hpcc(point: SimPoint):
     """Full HPCC suite at one configuration -> HPCCResult."""
-    m = get_machine(point.machine)
+    m = point_machine(point)
     return run_hpcc(m, point.nprocs, scaled_config(point.nprocs))
 
 
 def _imb(point: SimPoint):
     """One IMB benchmark measurement -> IMBResult."""
-    m = get_machine(point.machine)
+    m = point_machine(point)
     return run_benchmark(
         m,
         point.param("benchmark"),
         point.nprocs,
         msg_bytes=point.param("msg_bytes", PAPER_MSG_BYTES),
+        fabric_setup=_fault_setup(point),
     )
+
+
+def _app(point: SimPoint):
+    """One mini-app run (repro.apps) -> CG/Spectral/AMR result."""
+    from ..apps import run_amr, run_cg, run_spectral
+
+    runners = {"cg": run_cg, "spectral": run_spectral, "amr": run_amr}
+    app = point.param("app")
+    try:
+        fn = runners[app]
+    except KeyError:
+        raise ValueError(f"unknown app {app!r} "
+                         f"(known: {', '.join(runners)})") from None
+    return fn(point_machine(point), point.nprocs)
 
 
 def _hpcc_verify(point: SimPoint):
     """HPCC numeric verification battery -> VerificationReport."""
     from ..hpcc.verification import run_verification
 
-    return run_verification(get_machine(point.machine), nprocs=point.nprocs)
+    return run_verification(point_machine(point), nprocs=point.nprocs)
 
 
 _COMPUTE = {
@@ -127,6 +192,7 @@ _COMPUTE = {
     "stream_hpl": _stream_hpl,
     "hpcc": _hpcc,
     "imb": _imb,
+    "app": _app,
     "hpcc_verify": _hpcc_verify,
 }
 

@@ -1,10 +1,11 @@
-"""Regeneration of the paper's Figures 1-15.
+"""Regeneration of the paper's Figures 1-16 (thin adapters).
 
-Each ``figNN`` function returns a :class:`FigureResult` holding the same
-series the paper plots; the report module renders them as ASCII tables
-and CSV.  All functions accept ``max_cpus`` to cap sweeps for quick runs
-(tests and benches use 64-128; ``None`` reproduces the paper's full
-ranges, which takes a few minutes of host time).
+The figure definitions — machines, rank grids, point fan-out, assembly,
+references — live in the declarative scenario registry
+(:mod:`repro.scenarios.builtin`); each ``figNN`` function here simply
+runs the registered scenario, so the legacy call surface
+(``fig01(max_cpus=...)`` etc.) and the scenario path produce the same
+object from the same code.
 
 Figure inventory (paper §4):
 
@@ -13,304 +14,79 @@ Figure inventory (paper §4):
 * Fig 5 — all HPCC results normalised by HPL then by column max (kiviat)
 * Figs 6-12, 15 — IMB collectives at 1 MB vs CPU count
 * Figs 13-14 — IMB Sendrecv/Exchange bandwidth at 1 MB vs CPU count
+* Fig 16 — energy kiviat (not in the paper; modelled watts)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
-
-from ..analysis.ratios import KiviatData, kiviat_normalise
-from ..exec import SimPoint, get_executor
-from ..hpcc import HPCCResult
-from ..hpcc.suite import scaled_config
-from ..imb.framework import PAPER_MSG_BYTES, get_benchmark
-from ..imb import suite as _imb_suite  # noqa: F401 - benchmark registration
-from ..machine import get_machine
-
-#: Machines in the HPCC balance sweeps (Figs 1-4), as in the paper.
-HPCC_SWEEP_MACHINES = ("altix_nl4", "altix_nl3", "sx8", "xeon", "opteron")
-
-#: Machines in the IMB figures.
-IMB_MACHINES = ("sx8", "x1_msp", "x1_ssp", "altix_nl4", "xeon", "opteron")
-
-#: Largest configuration each system contributes to Fig 5 / Table 3
-#: (the paper's text quotes 506/440/576/64 CPU runs).
-# NOTE: the paper's Fig 5 / Table 3 use the NUMALINK3 Altix numbers
-# (its ring-bandwidth maximum 0.094 B/F equals NL3's 93.8 B/KFlop), so
-# the NL4 variant is deliberately absent here.
-FLAGSHIP_CPUS = {
-    "altix_nl3": 440,
-    "sx8": 576,
-    "xeon": 512,
-    "opteron": 64,
-    "x1_ssp": 48,
-}
+from ..imb.framework import PAPER_MSG_BYTES
+from ..scenarios import builtin as _builtin
+from ..scenarios.builtin import (  # noqa: F401  (compat re-exports)
+    ENERGY_KIVIAT_COLUMNS,
+    FLAGSHIP_CPUS,
+    HPCC_SWEEP_MACHINES,
+    IMB_FIGURES,
+    IMB_MACHINES,
+    _balance_sweep,
+    _ring_hpl_sweep,
+    _stream_hpl_sweep,
+    flagship_results,
+    scaled_config as _suite_config,
+)
+from .results import FigureResult, FigureSeries  # noqa: F401  (compat)
 
 
-@dataclass(frozen=True)
-class FigureSeries:
-    """One machine's curve within a figure."""
-
-    machine: str
-    label: str
-    x: tuple[float, ...]
-    y: tuple[float, ...]
+def _scenario(fig_id: str):
+    from ..scenarios import get_scenario
+    return get_scenario(fig_id)
 
 
-@dataclass(frozen=True)
-class FigureResult:
-    """A regenerated paper figure: labelled series plus metadata."""
-
-    fig_id: str
-    title: str
-    xlabel: str
-    ylabel: str
-    series: tuple[FigureSeries, ...]
-    notes: str = ""
-    extra: dict = field(default_factory=dict)
-
-    def by_machine(self, name: str) -> FigureSeries:
-        for s in self.series:
-            if s.machine == name:
-                return s
-        raise KeyError(name)
-
-
-def _cap(machine_name: str, max_cpus: int | None, floor: int = 2) -> int | None:
-    m = get_machine(machine_name)
-    cap = m.max_cpus if max_cpus is None else min(max_cpus, m.max_cpus)
-    return max(cap, floor)
-
-
-# ---------------------------------------------------------------------------
-# Figs 1-4: balance of communication/memory to computation
-# ---------------------------------------------------------------------------
-
-def _balance_sweep(kind: str, max_cpus: int | None, **params):
-    """(machine -> [(cpus, hpl_tflops, accumulated_GBs)]) via the executor.
-
-    ``kind`` is a worker point kind ("ring_hpl" / "stream_hpl") whose value
-    is an (hpl, accumulated) pair; the points for all machines are batched
-    into one executor call so a parallel run overlaps everything.
-    """
-    plan = []
-    points = []
-    for name in HPCC_SWEEP_MACHINES:
-        m = get_machine(name)
-        counts = m.cpu_counts(start=4, maximum=_cap(name, max_cpus))
-        plan.append((name, counts))
-        points.extend(SimPoint.make(kind, name, p, **params) for p in counts)
-    values = iter(get_executor().run_points(points))
-    return {
-        name: [(p, *next(values)) for p in counts]
-        for name, counts in plan
-    }
-
-
-@lru_cache(maxsize=8)
-def _ring_hpl_sweep(max_cpus: int | None):
-    """(machine -> [(cpus, hpl_tflops, accumulated_ring_GBs)])."""
-    return _balance_sweep("ring_hpl", max_cpus, n_rings=4)
+def _run(fig_id: str, max_cpus):
+    return _scenario(fig_id).run(max_cpus=max_cpus)
 
 
 def fig01(max_cpus: int | None = None) -> FigureResult:
     """Accumulated random-ring bandwidth versus HPL performance."""
-    data = _ring_hpl_sweep(max_cpus)
-    series = tuple(
-        FigureSeries(
-            machine=name,
-            label=get_machine(name).label,
-            x=tuple(h for (_p, h, _v) in pts),
-            y=tuple(v for (_p, _h, v) in pts),
-        )
-        for name, pts in data.items()
-    )
-    return FigureResult(
-        fig_id="fig01",
-        title="Accumulated random ring bandwidth vs HPL performance",
-        xlabel="HPL (TFlop/s)",
-        ylabel="Accumulated random-ring bandwidth (GB/s)",
-        series=series,
-        extra={"cpu_counts": {n: [p for (p, _h, _v) in pts]
-                              for n, pts in data.items()}},
-    )
+    return _run("fig01", max_cpus)
 
 
 def fig02(max_cpus: int | None = None) -> FigureResult:
     """Random-ring bandwidth / HPL ratio (B/KFlop) versus HPL."""
-    data = _ring_hpl_sweep(max_cpus)
-    series = []
-    for name, pts in data.items():
-        xs, ys = [], []
-        for p, hpl, acc in pts:
-            xs.append(hpl)
-            # B/KFlop: accumulated bytes/s per kflop/s of HPL.
-            ys.append(acc * 1e9 / (hpl * 1e12 / 1e3))
-        series.append(FigureSeries(machine=name,
-                                   label=get_machine(name).label,
-                                   x=tuple(xs), y=tuple(ys)))
-    return FigureResult(
-        fig_id="fig02",
-        title="Accumulated random ring bandwidth ratio vs HPL performance",
-        xlabel="HPL (TFlop/s)",
-        ylabel="Ring bandwidth per HPL (B/KFlop)",
-        series=tuple(series),
-        notes="Paper anchors: SX-8 ~60 flat 128-576 CPUs; Altix NL4 203 in "
-              "one box collapsing to 23 at 2024 CPUs; NL3 ~94; Opteron ~24.",
-        extra={"cpu_counts": {n: [p for (p, _h, _v) in pts]
-                              for n, pts in data.items()}},
-    )
-
-
-@lru_cache(maxsize=8)
-def _stream_hpl_sweep(max_cpus: int | None):
-    """(machine -> [(cpus, hpl_tflops, accumulated_stream_copy_GBs)])."""
-    return _balance_sweep("stream_hpl", max_cpus)
+    return _run("fig02", max_cpus)
 
 
 def fig03(max_cpus: int | None = None) -> FigureResult:
     """Accumulated EP-STREAM Copy versus HPL performance."""
-    data = _stream_hpl_sweep(max_cpus)
-    series = tuple(
-        FigureSeries(
-            machine=name,
-            label=get_machine(name).label,
-            x=tuple(h for (_p, h, _v) in pts),
-            y=tuple(v for (_p, _h, v) in pts),
-        )
-        for name, pts in data.items()
-    )
-    return FigureResult(
-        fig_id="fig03",
-        title="Accumulated EP-STREAM Copy vs HPL performance",
-        xlabel="HPL (TFlop/s)",
-        ylabel="Accumulated STREAM Copy (GB/s)",
-        series=series,
-    )
+    return _run("fig03", max_cpus)
 
 
 def fig04(max_cpus: int | None = None) -> FigureResult:
     """EP-STREAM Copy / HPL ratio (Byte/Flop) versus HPL."""
-    data = _stream_hpl_sweep(max_cpus)
-    series = []
-    for name, pts in data.items():
-        xs = [h for (_p, h, _v) in pts]
-        ys = [v / (h * 1e3) for (_p, h, v) in pts]  # GB/s over GFlop/s
-        series.append(FigureSeries(machine=name,
-                                   label=get_machine(name).label,
-                                   x=tuple(xs), y=tuple(ys)))
-    return FigureResult(
-        fig_id="fig04",
-        title="Accumulated EP-STREAM Copy ratio vs HPL performance",
-        xlabel="HPL (TFlop/s)",
-        ylabel="STREAM Copy per HPL (Byte/Flop)",
-        series=tuple(series),
-        notes="Paper anchors: SX-8 > 2.67 B/F; Altix > 0.36; "
-              "Opteron 0.84-1.07.",
-    )
+    return _run("fig04", max_cpus)
 
 
-# ---------------------------------------------------------------------------
-# Fig 5 / Table 3: normalised comparison of all benchmarks
-# ---------------------------------------------------------------------------
+def fig05(max_cpus: int | None = None):
+    """All benchmarks normalised with the HPL value (kiviat columns).
 
-#: The harness's problem-size rule (moved to repro.hpcc.suite; kept as an
-#: alias because downstream code imports it from here).
-_suite_config = scaled_config
-
-
-@lru_cache(maxsize=8)
-def flagship_results(max_cpus: int | None = None) -> tuple[HPCCResult, ...]:
-    """Full HPCC at each machine's largest measured configuration."""
-    points = []
-    for name, cpus in FLAGSHIP_CPUS.items():
-        p = cpus if max_cpus is None else min(cpus, max_cpus)
-        points.append(SimPoint.make("hpcc", name, p))
-    return tuple(get_executor().run_points(points))
-
-
-def fig05(max_cpus: int | None = None) -> tuple[FigureResult, KiviatData]:
-    """All benchmarks normalised with the HPL value (kiviat columns)."""
-    results = flagship_results(max_cpus)
-    data = kiviat_normalise(results)
-    series = []
-    for m in data.machines:
-        row = data.normalised[m]
-        xs, ys = [], []
-        for i, col in enumerate(data.columns):
-            if row[col] is not None:
-                xs.append(float(i))
-                ys.append(row[col])
-        series.append(FigureSeries(machine=m, label=get_machine(m).label,
-                                   x=tuple(xs), y=tuple(ys)))
-    fig = FigureResult(
-        fig_id="fig05",
-        title="Comparison of all benchmarks normalised with HPL value",
-        xlabel="benchmark column index (see analysis.KIVIAT_COLUMNS)",
-        ylabel="normalised ratio (best system = 1)",
-        series=tuple(series),
-        extra={"columns": data.columns, "maxima": data.maxima},
-    )
-    return fig, data
-
-
-# ---------------------------------------------------------------------------
-# Figs 6-15: IMB
-# ---------------------------------------------------------------------------
-
-#: fig id -> (benchmark, y field, ylabel)
-IMB_FIGURES = {
-    "fig06": ("Barrier", "time_us", "time (us/call)"),
-    "fig07": ("Allreduce", "time_us", "time (us/call)"),
-    "fig08": ("Reduce", "time_us", "time (us/call)"),
-    "fig09": ("Reduce_scatter", "time_us", "time (us/call)"),
-    "fig10": ("Allgather", "time_us", "time (us/call)"),
-    "fig11": ("Allgatherv", "time_us", "time (us/call)"),
-    "fig12": ("Alltoall", "time_us", "time (us/call)"),
-    "fig13": ("Sendrecv", "bandwidth_mbs", "bandwidth (MB/s)"),
-    "fig14": ("Exchange", "bandwidth_mbs", "bandwidth (MB/s)"),
-    "fig15": ("Bcast", "time_us", "time (us/call)"),
-}
+    Returns ``(FigureResult, KiviatData)`` — the historical contract.
+    """
+    return _scenario("fig05").run_with_data(max_cpus)
 
 
 def imb_figure(fig_id: str, max_cpus: int | None = None,
                msg_bytes: int = PAPER_MSG_BYTES,
                machines: tuple[str, ...] = IMB_MACHINES) -> FigureResult:
-    """Regenerate one IMB figure (figs 6-15) across the machine set."""
-    bench, fld, ylabel = IMB_FIGURES[fig_id]
-    if bench == "Barrier":
-        msg_bytes = 0
-    min_procs = get_benchmark(bench).min_procs
-    plan = []
-    points = []
-    for name in machines:
-        m = get_machine(name)
-        counts = m.cpu_counts(start=min_procs, maximum=_cap(name, max_cpus))
-        plan.append((m, counts))
-        points.extend(
-            SimPoint.make("imb", name, p, benchmark=bench,
-                          msg_bytes=msg_bytes)
-            for p in counts
-        )
-    values = iter(get_executor().run_points(points))
-    series = []
-    for m, counts in plan:
-        results = [next(values) for _ in counts]
-        series.append(FigureSeries(
-            machine=m.name,
-            label=m.label,
-            x=tuple(float(r.nprocs) for r in results),
-            y=tuple(getattr(r, fld) for r in results),
-        ))
-    size_note = "" if bench == "Barrier" else f", {msg_bytes} B messages"
-    return FigureResult(
-        fig_id=fig_id,
-        title=f"IMB {bench} on varying number of processors{size_note}",
-        xlabel="CPUs",
-        ylabel=ylabel,
-        series=tuple(series),
-    )
+    """Regenerate one IMB figure (figs 6-15) across the machine set.
+
+    With non-default ``msg_bytes``/``machines`` a transient scenario is
+    built (same declarative shape, not registered).
+    """
+    bench, fld, ylabel = IMB_FIGURES[fig_id]  # KeyError on unknown ids
+    if msg_bytes == PAPER_MSG_BYTES and machines == IMB_MACHINES:
+        return _run(fig_id, max_cpus)
+    return _builtin.IMBFigureScenario(
+        fig_id, benchmark=bench, field=fld, ylabel=ylabel,
+        machines=machines, msg_bytes=msg_bytes).run(max_cpus=max_cpus)
 
 
 def fig06(max_cpus=None):
@@ -363,59 +139,9 @@ def fig15(max_cpus=None):
     return imb_figure("fig15", max_cpus)
 
 
-# ---------------------------------------------------------------------------
-# Fig 16: energy kiviat (not in the paper)
-# ---------------------------------------------------------------------------
-
-#: Fig 16 axes, all "higher is better", each normalised by its best
-#: machine (1 = best), mirroring the Fig 5 kiviat construction.
-ENERGY_KIVIAT_COLUMNS = (
-    "HPL Gflop/s",
-    "Mflop/s per W",
-    "Solutions per MJ",    # 1 / energy-to-solution
-    "1 / EDP",
-)
-
-
 def fig16(max_cpus: int | None = None) -> FigureResult:
-    """Energy kiviat: efficiency axes normalised to the best machine.
-
-    Analytic companion to the Fig 5 kiviat along the energy dimension
-    the paper could not measure.  ``max_cpus`` caps each machine's
-    profiled configuration (``None`` profiles every machine at its own
-    maximum); no simulation points run, so no lru_cache is needed.
-    """
-    from ..analysis.energy import energy_ranking
-
-    profiles = energy_ranking(nprocs=max_cpus)
-    axes = [
-        [p.hpl_gflops for p in profiles],
-        [p.mflops_per_w for p in profiles],
-        [1e6 / p.energy_j for p in profiles],
-        [1.0 / p.edp_js for p in profiles],
-    ]
-    maxima = [max(col) for col in axes]
-    series = tuple(
-        FigureSeries(
-            machine=p.machine,
-            label=p.label,
-            x=tuple(float(i) for i in range(len(axes))),
-            y=tuple(axes[i][j] / maxima[i] for i in range(len(axes))),
-        )
-        for j, p in enumerate(profiles)
-    )
-    return FigureResult(
-        fig_id="fig16",
-        title="Energy efficiency normalised to the best machine (kiviat)",
-        xlabel="energy column index (see ENERGY_KIVIAT_COLUMNS)",
-        ylabel="normalised ratio (best system = 1)",
-        series=series,
-        notes="Not in the paper: modelled HPL energy profiles "
-              "(docs/MODEL.md section 13).",
-        extra={"columns": list(ENERGY_KIVIAT_COLUMNS),
-               "maxima": {c: maxima[i]
-                          for i, c in enumerate(ENERGY_KIVIAT_COLUMNS)}},
-    )
+    """Energy kiviat: efficiency axes normalised to the best machine."""
+    return _run("fig16", max_cpus)
 
 
 ALL_FIGURES = {

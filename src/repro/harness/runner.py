@@ -91,11 +91,26 @@ _norm_table = normalize_table_id
 
 
 class _BadId(Exception):
-    """Raised for an unknown/invalid --figure or --table id."""
+    """Raised for an unknown/invalid --figure/--table/--scenario id."""
+
+
+def _scenario_hint(arg: str) -> str:
+    """A pointer at the scenario registry when a bad id names a scenario."""
+    from ..scenarios import has_scenario
+
+    if has_scenario(str(arg)):
+        return (f"; {arg!r} is a registered scenario — "
+                f"use --scenario {arg}")
+    return ""
 
 
 def _resolve_ids(raw: list[str], norm, known: dict, what: str) -> list[str]:
-    """Normalise CLI ids, raising :class:`_BadId` with a clear message."""
+    """Normalise CLI ids, raising :class:`_BadId` with a clear message.
+
+    Unknown ids are also resolved against the scenario registry so a
+    scenario name passed to ``--figure`` points at ``--scenario``
+    instead of dead-ending.
+    """
     out = []
     for arg in raw:
         try:
@@ -104,13 +119,32 @@ def _resolve_ids(raw: list[str], norm, known: dict, what: str) -> list[str]:
             raise _BadId(
                 f"error: invalid {what} id {arg!r} "
                 f"(expected one of: {', '.join(sorted(known))})"
+                f"{_scenario_hint(arg)}"
             ) from None
         if ident not in known:
             raise _BadId(
                 f"error: unknown {what} {arg!r} "
                 f"(expected one of: {', '.join(sorted(known))})"
+                f"{_scenario_hint(arg)}"
             )
         out.append(ident)
+    return out
+
+
+def _resolve_scenarios(raw: list[str]) -> list[str]:
+    """Validate --scenario names against the registry (exit-2 contract)."""
+    from ..scenarios import ScenarioError, get_scenario, scenario_ids
+
+    out = []
+    for arg in raw:
+        try:
+            get_scenario(str(arg))
+        except ScenarioError:
+            raise _BadId(
+                f"error: unknown scenario {arg!r} "
+                f"(registered: {', '.join(scenario_ids())})"
+            ) from None
+        out.append(str(arg))
     return out
 
 
@@ -166,6 +200,13 @@ def main(argv: list[str] | None = None) -> int:
                     help="table number (1-4); repeatable")
     ap.add_argument("--all", action="store_true",
                     help="regenerate every table and figure")
+    ap.add_argument("--scenario", action="append", default=[],
+                    metavar="NAME",
+                    help="run a registered scenario by name (builtin "
+                         "paper items, scenarios/*.toml, or "
+                         "REPRO_SCENARIO_PATH files); repeatable")
+    ap.add_argument("--list-scenarios", action="store_true",
+                    help="list every registered scenario and exit")
     ap.add_argument("--max-cpus", type=int, default=None,
                     help="cap CPU sweeps (default: the paper's full ranges)")
     ap.add_argument("--out", default=None,
@@ -226,15 +267,28 @@ def main(argv: list[str] | None = None) -> int:
                          "per-cell report JSON to PATH")
     args = ap.parse_args(argv)
 
+    if args.list_scenarios:
+        from ..scenarios import all_scenarios
+
+        for s in all_scenarios():
+            src = ("builtin" if s.source == "builtin"
+                   else Path(s.source).name)
+            print(f"{s.scenario_id:24} {s.kind:6} {src:24} {s.title}")
+        return 0
+
     try:
         figures = _resolve_ids(args.figure, _norm_fig, ALL_FIGURES, "figure")
         tables = _resolve_ids(args.table, _norm_table, ALL_TABLES, "table")
+        scenarios = _resolve_scenarios(args.scenario)
     except _BadId as exc:
         print(exc, file=sys.stderr)
         return 2
     if args.all:
         figures = list(ALL_FIGURES)
         tables = list(ALL_TABLES)
+    # Drop scenarios that are already running as figures/tables (the
+    # builtin paper items are reachable under either flag).
+    scenarios = [s for s in scenarios if s not in figures and s not in tables]
 
     err = check_output_paths(args.metrics, args.trace_dir,
                              args.validate_report, args.report,
@@ -255,9 +309,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.cache_clear:
         ResultCache(config.cache_dir).clear()
         print(f"[cache cleared: {config.cache_dir}]")
-        if not figures and not tables and not args.validate:
+        if not figures and not tables and not scenarios and not args.validate:
             return 0
-    if not figures and not tables and not args.all and not args.validate:
+    if (not figures and not tables and not scenarios and not args.all
+            and not args.validate):
         ap.print_help()
         return 2
 
@@ -285,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
                 report = run_validation(
                     figures=figures if explicit else None,
                     tables=tables if explicit else None,
+                    scenarios=scenarios or None,
                     max_cpus=args.max_cpus,
                     jobs=executor.jobs,
                     report_path=args.validate_report,
@@ -379,6 +435,32 @@ def main(argv: list[str] | None = None) -> int:
                             save_figure(fig, args.out)
                 _record(f, dt, before, sp)
 
+            for sid in scenarios:
+                from ..scenarios import run_scenario
+
+                before = _snapshot()
+                with spans.span(sid, cat="scenario") as sp:
+                    with spans.span("compute", cat="sweep"):
+                        t0 = perf_counter()
+                        result = run_scenario(sid, max_cpus=args.max_cpus)
+                        dt = perf_counter() - t0
+                    with spans.span("render", cat="report"):
+                        if hasattr(result, "table_id"):
+                            print(render_table(result))
+                        else:
+                            print(render_figure(result))
+                            if args.plot:
+                                print()
+                                print(render_ascii_plot(result))
+                        print(f"[{sid} in {dt:.1f}s]\n")
+                    if args.out:
+                        with spans.span("save", cat="report"):
+                            if hasattr(result, "table_id"):
+                                save_table(result, args.out)
+                            else:
+                                save_figure(result, args.out)
+                _record(sid, dt, before, sp)
+
             if want_obs and figures:
                 # Representative traced runs: critical-path verdicts per
                 # (figure, machine) and, with --trace-dir, Perfetto files.
@@ -445,7 +527,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{tot['avg_power_w']:.1f} W avg, "
               f"EDP {tot['edp_js']:.3g} J*s]")
 
-    item_ids = tables + figures
+    item_ids = tables + figures + scenarios
     sha = git_sha()
     fingerprint = source_fingerprint()
     harness_doc = {

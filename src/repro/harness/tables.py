@@ -1,118 +1,42 @@
 """Regeneration of the paper's Tables 1-3, plus the energy ranking.
 
-Table 4 is not in the paper: it ranks every simulated machine (the
-paper's systems and the future-work projections) by modelled HPL energy
-efficiency — the dimension the 2006 study could not measure.
+Thin adapters over the declarative scenario registry
+(:mod:`repro.scenarios.builtin`), which holds the actual table
+construction; the legacy call surface (``table3(max_cpus=...)``) is
+preserved.  Table 4 is not in the paper: it ranks every simulated
+machine by modelled HPL energy efficiency — the dimension the 2006
+study could not measure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..analysis.energy import energy_ranking
-from ..analysis.ratios import TABLE3_UNITS, kiviat_normalise
-from ..machine import PAPER_FIVE, get_machine
-from .figures import flagship_results
+from .figures import flagship_results  # noqa: F401  (compat re-export)
+from .results import TableResult  # noqa: F401  (compat re-export)
 
 
-@dataclass(frozen=True)
-class TableResult:
-    table_id: str
-    title: str
-    headers: tuple[str, ...]
-    rows: tuple[tuple, ...]
-    notes: str = ""
+def _run(table_id: str, max_cpus=None):
+    from ..scenarios import get_scenario
+    return get_scenario(table_id).run(max_cpus=max_cpus)
 
 
 def table1() -> TableResult:
     """Architecture parameters of SGI Altix BX2 (static configuration)."""
-    params = get_machine("altix_nl4").extra["table1"]
-    return TableResult(
-        table_id="table1",
-        title="Architecture parameters of SGI Altix BX2",
-        headers=("Characteristics", "SGI Altix BX2"),
-        rows=tuple((k, v) for k, v in params.items()),
-    )
+    return _run("table1")
 
 
 def table2() -> TableResult:
     """System characteristics of the five computing platforms."""
-    headers = (
-        "Platform", "Type", "CPUs/node", "Clock (GHz)", "Peak/node (Gflop/s)",
-        "Network", "Network topology", "Operating system", "Location",
-        "Processor vendor", "System vendor",
-    )
-    rows = []
-    for m in PAPER_FIVE:
-        rows.append((
-            m.label,
-            m.system_type,
-            m.node.cpus,
-            m.processor.clock_ghz,
-            m.peak_node_gflops,
-            m.network.name,
-            m.topology_label,
-            m.operating_system,
-            m.location,
-            m.processor_vendor,
-            m.system_vendor,
-        ))
-    return TableResult(
-        table_id="table2",
-        title="System characteristics of the five computing platforms",
-        headers=headers,
-        rows=tuple(rows),
-    )
+    return _run("table2")
 
 
 def table3(max_cpus: int | None = None) -> TableResult:
     """Ratio values corresponding to the Fig 5 maxima (measured)."""
-    results = flagship_results(max_cpus)
-    data = kiviat_normalise(results)
-    rows = []
-    for col in data.columns:
-        unit = TABLE3_UNITS[col]
-        rows.append((col, f"{data.maxima[col]:.4g}" + (f" {unit}" if unit else "")))
-    return TableResult(
-        table_id="table3",
-        title="Ratio values corresponding to 1 in Fig 5",
-        headers=("Ratio", "Maximum value"),
-        rows=tuple(rows),
-        notes="Paper values: 8.729 TF/s; 1.925; 0.020; 0.039 B/F; "
-              "2.893 B/F; 0.094 B/F; 0.197 1/us; 4.9e-5 Update/F.",
-    )
+    return _run("table3", max_cpus)
 
 
 def table4() -> TableResult:
-    """Energy-efficiency ranking of all simulated machines (modelled).
-
-    Fully analytic (closed-form HPL + power models), so it never
-    sweeps CPUs; each machine is profiled at its own maximum
-    configuration, Green500 style.
-    """
-    headers = ("Rank", "Platform", "CPUs", "HPL (Gflop/s)", "Power (kW)",
-               "Mflop/s per W", "Energy (MJ)", "EDP (MJ*s)")
-    rows = []
-    for rank, prof in enumerate(energy_ranking(), start=1):
-        rows.append((
-            rank,
-            prof.label,
-            prof.nprocs,
-            f"{prof.hpl_gflops:.4g}",
-            f"{prof.power_kw:.4g}",
-            f"{prof.mflops_per_w:.4g}",
-            f"{prof.energy_j / 1e6:.4g}",
-            f"{prof.edp_js / 1e6:.4g}",
-        ))
-    return TableResult(
-        table_id="table4",
-        title="Modelled HPL energy efficiency of all simulated machines",
-        headers=headers,
-        rows=tuple(rows),
-        notes="Not in the paper. Sustained HPL at each machine's maximum "
-              "CPUs; power = busy cores + per-node memory/NIC floors "
-              "(see docs/MODEL.md section 13 for the watt provenance).",
-    )
+    """Energy-efficiency ranking of all simulated machines (modelled)."""
+    return _run("table4")
 
 
 ALL_TABLES = {"table1": table1, "table2": table2, "table3": table3,

@@ -98,6 +98,7 @@ class IMBBenchmark:
         msg_bytes: int = PAPER_MSG_BYTES,
         iterations: int = 1,
         warmup: int = 1,
+        fabric_setup=None,
     ) -> IMBResult:
         if nprocs < self.min_procs:
             raise BenchmarkError(
@@ -105,7 +106,10 @@ class IMBBenchmark:
             )
         if iterations < 1:
             raise BenchmarkError("iterations must be >= 1")
-        t_max = self._steady_state_time(machine, nprocs, msg_bytes)
+        # A fault-injected fabric invalidates the analytic steady-state
+        # price, so fault runs always go through the full simulation.
+        t_max = (None if fabric_setup is not None
+                 else self._steady_state_time(machine, nprocs, msg_bytes))
         if t_max is None:
             cluster = Cluster(machine, nprocs)
 
@@ -116,7 +120,7 @@ class IMBBenchmark:
                 t = yield from self.program(comm, msg_bytes, iterations)
                 return t / iterations
 
-            res = cluster.run(driver)
+            res = cluster.run(driver, fabric_setup=fabric_setup)
             t_max = max(res.results)
         bw = None
         if self.bytes_per_iteration:

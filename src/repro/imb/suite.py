@@ -51,9 +51,11 @@ def run_benchmark(
     nprocs: int,
     msg_bytes: int = PAPER_MSG_BYTES,
     iterations: int = 1,
+    fabric_setup=None,
 ) -> IMBResult:
     return get_benchmark(benchmark).run(
-        machine, nprocs, msg_bytes, iterations=iterations
+        machine, nprocs, msg_bytes, iterations=iterations,
+        fabric_setup=fabric_setup,
     )
 
 

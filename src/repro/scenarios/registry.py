@@ -1,0 +1,109 @@
+"""Scenario registry: auto-discovery of builtin and TOML scenarios.
+
+Discovery is lazy (first lookup) and sources, in order:
+
+1. the 20 builtin paper scenarios (:mod:`repro.scenarios.builtin`);
+2. ``*.toml`` files in the repository's ``scenarios/`` directory;
+3. ``*.toml`` files in any directory listed in the
+   ``REPRO_SCENARIO_PATH`` environment variable (``os.pathsep``
+   separated) — the user extension point: dropping one TOML file there
+   adds a machine/benchmark/fault scenario with zero code edits.
+
+Id collisions raise :class:`~repro.scenarios.spec.ScenarioError` (the
+registry never silently shadows); :func:`reload_scenarios` resets the
+cache so tests can point ``REPRO_SCENARIO_PATH`` somewhere else.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .spec import Scenario, ScenarioError
+
+#: Environment variable naming extra scenario directories.
+SCENARIO_PATH_ENV = "REPRO_SCENARIO_PATH"
+
+#: The repository's committed scenario directory (repo root / scenarios).
+REPO_SCENARIO_DIR = Path(__file__).resolve().parents[3] / "scenarios"
+
+_REGISTRY: dict[str, Scenario] | None = None
+
+
+def _register(registry: dict[str, Scenario], scenario: Scenario) -> None:
+    sid = scenario.scenario_id
+    if sid in registry:
+        raise ScenarioError(
+            f"duplicate scenario id {sid!r}: {scenario.source} collides "
+            f"with {registry[sid].source}")
+    registry[sid] = scenario
+
+
+def _toml_dirs() -> list[Path]:
+    dirs = []
+    if REPO_SCENARIO_DIR.is_dir():
+        dirs.append(REPO_SCENARIO_DIR)
+    extra = os.environ.get(SCENARIO_PATH_ENV, "")
+    for part in extra.split(os.pathsep):
+        part = part.strip()
+        if part:
+            dirs.append(Path(part))
+    return dirs
+
+
+def _discover() -> dict[str, Scenario]:
+    from . import builtin
+    from .toml_loader import load_toml_scenario
+
+    registry: dict[str, Scenario] = {}
+    for scenario in builtin.make_builtin_scenarios():
+        _register(registry, scenario)
+    for d in _toml_dirs():
+        if not d.is_dir():
+            raise ScenarioError(
+                f"scenario directory {str(d)!r} (from "
+                f"{SCENARIO_PATH_ENV}) does not exist")
+        for path in sorted(d.glob("*.toml")):
+            _register(registry, load_toml_scenario(path))
+    return registry
+
+
+def _registry() -> dict[str, Scenario]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _discover()
+    return _REGISTRY
+
+
+def reload_scenarios() -> None:
+    """Forget the discovered registry (re-discovers on next lookup)."""
+    global _REGISTRY
+    _REGISTRY = None
+
+
+def scenario_ids() -> tuple[str, ...]:
+    """All registered scenario ids, builtins first then TOML (sorted)."""
+    return tuple(_registry())
+
+
+def has_scenario(scenario_id: str) -> bool:
+    return scenario_id in _registry()
+
+
+def get_scenario(scenario_id: str) -> Scenario:
+    reg = _registry()
+    try:
+        return reg[scenario_id]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {scenario_id!r} "
+            f"(registered: {', '.join(reg)})") from None
+
+
+def all_scenarios() -> tuple[Scenario, ...]:
+    return tuple(_registry().values())
+
+
+def paper_scenarios() -> tuple[Scenario, ...]:
+    """The builtin paper figures/tables, in canonical order."""
+    return tuple(s for s in _registry().values() if "paper" in s.tags)

@@ -1,0 +1,107 @@
+"""Running and checking scenarios.
+
+:func:`run_scenario` regenerates a scenario's figure/table through the
+ambient executor; :func:`check_scenario` additionally evaluates the
+scenario's per-machine references (asymmetric tolerances) and returns a
+structured verdict the ``repro.validate`` gate embeds in its report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .registry import get_scenario
+from .spec import Scenario
+
+
+def run_scenario(scenario: str | Scenario, max_cpus: int | None = None):
+    """Regenerate one scenario; returns its FigureResult/TableResult."""
+    s = scenario if isinstance(scenario, Scenario) else get_scenario(scenario)
+    return s.run(max_cpus=max_cpus)
+
+
+@dataclass(frozen=True)
+class ScenarioCheck:
+    """Reference-check verdict for one scenario.
+
+    ``status`` is ``"ok"`` (all references hold), ``"fail"`` (at least
+    one measurement left its tolerance band), or ``"uncovered"`` (the
+    scenario declares no references checkable at this scale).
+    """
+
+    scenario_id: str
+    status: str
+    checks: tuple[dict, ...] = ()
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "fail"
+
+    def to_dict(self) -> dict:
+        return {"scenario": self.scenario_id, "status": self.status,
+                "checks": list(self.checks), "detail": self.detail}
+
+
+def check_scenario(scenario: str | Scenario,
+                   max_cpus: int | None = None) -> ScenarioCheck:
+    """Run one scenario and judge its references at this scale."""
+    s = scenario if isinstance(scenario, Scenario) else get_scenario(scenario)
+    if not s.references:
+        return ScenarioCheck(s.scenario_id, "uncovered",
+                             detail="no references declared")
+    if max_cpus is not None and s.requires_full_refs:
+        return ScenarioCheck(
+            s.scenario_id, "uncovered",
+            detail=f"references require the full-scale sweep "
+                   f"(capped at {max_cpus})")
+    result = s.run(max_cpus=max_cpus)
+    perf = s.perf_values(result)
+    checks = []
+    failed = 0
+    for machine, refs in sorted(s.references.items()):
+        for metric, ref in sorted(refs.items()):
+            entry = {"machine": machine, "metric": metric,
+                     "reference": ref.to_json()}
+            values = perf.get(machine)
+            if values is None or metric not in values:
+                entry.update(status="fail",
+                             detail=f"metric {metric!r} not measured for "
+                                    f"machine {machine!r}")
+                failed += 1
+            else:
+                actual = values[metric]
+                verdict = ref.check(actual)
+                lo, hi = ref.bounds()
+                entry.update(actual=actual, status="ok" if verdict == "ok"
+                             else "fail")
+                if verdict != "ok":
+                    bound = lo if verdict == "below" else hi
+                    entry["detail"] = (f"{actual:.6g} {verdict} the "
+                                       f"{'lower' if verdict == 'below' else 'upper'}"
+                                       f" bound {bound:.6g} of {ref.to_json()}")
+                    failed += 1
+            checks.append(entry)
+    status = "fail" if failed else "ok"
+    detail = (f"{failed}/{len(checks)} reference checks failed" if failed
+              else f"{len(checks)} reference checks passed")
+    return ScenarioCheck(s.scenario_id, status, tuple(checks), detail)
+
+
+@dataclass(frozen=True)
+class ScenarioSuiteReport:
+    """All scenario checks from one gate run."""
+
+    checks: tuple[ScenarioCheck, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def to_dict(self) -> list[dict]:
+        return [c.to_dict() for c in self.checks]
+
+
+def check_scenarios(ids, max_cpus: int | None = None) -> ScenarioSuiteReport:
+    return ScenarioSuiteReport(tuple(check_scenario(i, max_cpus=max_cpus)
+                                     for i in ids))

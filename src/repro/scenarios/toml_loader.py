@@ -1,0 +1,376 @@
+"""TOML scenario files: the zero-code extension point.
+
+One TOML file declares one scenario — machines (catalog names or
+user-defined projections of a catalog base), a workload (an IMB
+benchmark with optional fault injection, a ``repro.apps`` mini-app, or
+the full HPCC suite), a rank grid, the metric to plot, and optional
+per-machine references.  Example::
+
+    [scenario]
+    id = "fat_xeon_alltoall"
+    title = "Alltoall on a projected 4096-CPU Xeon cluster"
+
+    [machines.fat_xeon]
+    base = "xeon"
+    max_cpus = 4096
+    label = "Projected fat Xeon"
+
+    [workload]
+    kind = "imb"
+    benchmark = "Alltoall"
+
+    [grid]
+    counts = [64, 256, 1024, 4096]
+
+Malformed files raise :class:`~repro.scenarios.spec.ScenarioError` with
+the offending file and key — never a bare traceback — so a typo in a
+user scenario reads as a usage error.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..exec import SimPoint
+from ..machine import get_machine
+from .spec import (RankGrid, Reference, Scenario, ScenarioError,
+                   ToleranceSpec, parse_references)
+
+_WORKLOAD_KINDS = ("imb", "app", "hpcc")
+_APPS = ("cg", "spectral", "amr")
+_FAULT_KINDS = ("slow_node", "degrade_core", "add_latency")
+
+#: Default metric per workload kind (overridable via ``workload.metric``).
+_DEFAULT_METRIC = {"imb": "time_us", "app": "elapsed", "hpcc": "hpl_tflops"}
+
+_DEFAULT_YLABEL = {
+    "time_us": "time (us/call)",
+    "bandwidth_mbs": "bandwidth (MB/s)",
+    "elapsed": "elapsed (s)",
+    "comm_fraction": "communication fraction",
+}
+
+
+@dataclass(frozen=True)
+class MachineDef:
+    """A machine slot: a catalog name, or a projection of a base machine."""
+
+    name: str
+    base: str | None = None
+    max_cpus: int | None = None
+    label: str | None = None
+
+    def resolve(self):
+        """The MachineSpec this slot runs on (for planning/labels)."""
+        if self.base is None:
+            return get_machine(self.name)
+        m = get_machine(self.base).scaled(self.max_cpus, name=self.name)
+        if self.label is not None:
+            m = replace(m, label=self.label)
+        return m
+
+    def point_params(self) -> dict:
+        """SimPoint params letting workers rebuild the machine.
+
+        User-defined machines exist only in their TOML file, so the
+        projection recipe rides on the point (salting the cache key —
+        two projections with different sizes never share entries).
+        """
+        if self.base is None:
+            return {}
+        params = {"machine_base": self.base, "machine_cpus": self.max_cpus}
+        if self.label is not None:
+            params["machine_label"] = self.label
+        return params
+
+
+class PointSweepScenario(Scenario):
+    """Generic declarative scenario: workload x machines x rank grid."""
+
+    def __init__(self, scenario_id, *, machines, workload, grid, metric,
+                 xlabel="CPUs", ylabel=None, **kw):
+        super().__init__(scenario_id, **kw)
+        self.machines = tuple(machines)
+        self.workload = dict(workload)
+        self.grid = grid
+        self.metric = metric
+        self.xlabel = xlabel
+        self.ylabel = ylabel or _DEFAULT_YLABEL.get(metric, metric)
+
+    def machine_names(self):
+        return tuple(md.name for md in self.machines)
+
+    def _point_params(self, md: MachineDef) -> dict:
+        w = self.workload
+        params = dict(md.point_params())
+        if w["kind"] == "imb":
+            params["benchmark"] = w["benchmark"]
+            params["msg_bytes"] = w.get("msg_bytes", 1024 * 1024)
+            fault = w.get("fault")
+            if fault:
+                params["fault"] = fault["kind"]
+                for key in ("node", "factor", "level", "extra_us"):
+                    if key in fault:
+                        params[f"fault_{key}"] = fault[key]
+        elif w["kind"] == "app":
+            params["app"] = w["app"]
+        return params
+
+    def _point_kind(self) -> str:
+        return {"imb": "imb", "app": "app", "hpcc": "hpcc"}[self.workload["kind"]]
+
+    def _plan(self, max_cpus):
+        kind = self._point_kind()
+        plan = []
+        points = []
+        for md in self.machines:
+            m = md.resolve()
+            counts = self.grid.resolve(m, max_cpus)
+            plan.append((md, m, counts))
+            params = self._point_params(md)
+            points.extend(SimPoint.make(kind, md.name, p, **params)
+                          for p in counts)
+        return plan, points
+
+    def plan(self, max_cpus=None):
+        return self._plan(max_cpus)[1]
+
+    def _metric_of(self, value):
+        if self.metric == "hpl_tflops" and hasattr(value, "hpl"):
+            return value.hpl.tflops
+        try:
+            out = getattr(value, self.metric)
+        except AttributeError:
+            raise ScenarioError(
+                f"scenario {self.scenario_id!r}: workload result "
+                f"{type(value).__name__} has no metric {self.metric!r}"
+            ) from None
+        if out is None:
+            raise ScenarioError(
+                f"scenario {self.scenario_id!r}: metric {self.metric!r} is "
+                f"not reported by this workload")
+        return float(out)
+
+    def assemble(self, values, max_cpus=None):
+        from ..harness.results import FigureResult, FigureSeries
+
+        plan, _points = self._plan(max_cpus)
+        it = iter(values)
+        series = []
+        for md, m, counts in plan:
+            results = [next(it) for _ in counts]
+            series.append(FigureSeries(
+                machine=md.name,
+                label=m.label,
+                x=tuple(float(p) for p in counts),
+                y=tuple(self._metric_of(r) for r in results),
+            ))
+        return FigureResult(
+            fig_id=self.scenario_id,
+            title=self.title or self.scenario_id,
+            xlabel=self.xlabel,
+            ylabel=self.ylabel,
+            series=tuple(series),
+            notes=self.description,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+def _err(path, msg) -> ScenarioError:
+    return ScenarioError(f"scenario file {path}: {msg}")
+
+
+def _check_keys(path, table: dict, allowed: tuple[str, ...], where: str):
+    unknown = sorted(set(table) - set(allowed))
+    if unknown:
+        raise _err(path, f"unknown key(s) {', '.join(map(repr, unknown))} in "
+                         f"[{where}] (allowed: {', '.join(allowed)})")
+
+
+def _parse_machines(path, obj) -> tuple[MachineDef, ...]:
+    if not isinstance(obj, dict) or not obj:
+        raise _err(path, "a non-empty [machines.<name>] table is required")
+    out = []
+    for name, entry in obj.items():
+        if not isinstance(entry, dict):
+            raise _err(path, f"[machines.{name}] must be a table")
+        _check_keys(path, entry, ("base", "max_cpus", "label"),
+                    f"machines.{name}")
+        base = entry.get("base")
+        max_cpus = entry.get("max_cpus")
+        if base is not None and not isinstance(max_cpus, int):
+            raise _err(path, f"[machines.{name}] with a base machine needs "
+                             "an integer max_cpus")
+        out.append(MachineDef(name=str(name), base=base, max_cpus=max_cpus,
+                              label=entry.get("label")))
+    return tuple(out)
+
+
+def _parse_workload(path, obj) -> dict:
+    if not isinstance(obj, dict):
+        raise _err(path, "a [workload] table is required")
+    _check_keys(path, obj, ("kind", "benchmark", "msg_bytes", "app",
+                            "metric", "fault"), "workload")
+    kind = obj.get("kind")
+    if kind not in _WORKLOAD_KINDS:
+        raise _err(path, f"workload.kind must be one of {_WORKLOAD_KINDS}, "
+                         f"got {kind!r}")
+    w: dict = {"kind": kind}
+    if "metric" in obj:
+        if not isinstance(obj["metric"], str):
+            raise _err(path, "workload.metric must be a string")
+        w["metric"] = obj["metric"]
+    if kind == "imb":
+        bench = obj.get("benchmark")
+        if not isinstance(bench, str):
+            raise _err(path, "imb workload needs workload.benchmark")
+        from ..imb.framework import get_benchmark
+        try:
+            get_benchmark(bench)
+        except Exception:
+            raise _err(path, f"unknown IMB benchmark {bench!r}") from None
+        w["benchmark"] = bench
+        if "msg_bytes" in obj:
+            if not isinstance(obj["msg_bytes"], int) or obj["msg_bytes"] < 0:
+                raise _err(path, "workload.msg_bytes must be a non-negative "
+                                 "integer")
+            w["msg_bytes"] = obj["msg_bytes"]
+        if "fault" in obj:
+            w["fault"] = _parse_fault(path, obj["fault"])
+    elif kind == "app":
+        app = obj.get("app")
+        if app not in _APPS:
+            raise _err(path, f"workload.app must be one of {_APPS}, "
+                             f"got {app!r}")
+        w["app"] = app
+    return w
+
+
+def _parse_fault(path, obj) -> dict:
+    if not isinstance(obj, dict):
+        raise _err(path, "[workload.fault] must be a table")
+    _check_keys(path, obj, ("kind", "node", "factor", "level", "extra_us"),
+                "workload.fault")
+    kind = obj.get("kind")
+    if kind not in _FAULT_KINDS:
+        raise _err(path, f"fault.kind must be one of {_FAULT_KINDS}, "
+                         f"got {kind!r}")
+    fault = {"kind": kind}
+    if kind in ("slow_node", "degrade_core"):
+        factor = obj.get("factor")
+        if not isinstance(factor, (int, float)) or factor <= 0:
+            raise _err(path, f"fault {kind!r} needs a positive factor")
+        fault["factor"] = float(factor)
+        if kind == "slow_node":
+            fault["node"] = int(obj.get("node", 0))
+        else:
+            fault["level"] = int(obj.get("level", 0))
+    else:  # add_latency
+        extra = obj.get("extra_us")
+        if not isinstance(extra, (int, float)) or extra < 0:
+            raise _err(path, "fault 'add_latency' needs extra_us >= 0")
+        fault["extra_us"] = float(extra)
+    return fault
+
+
+def _parse_grid(path, obj) -> RankGrid:
+    if obj is None:
+        return RankGrid()
+    if not isinstance(obj, dict):
+        raise _err(path, "[grid] must be a table")
+    _check_keys(path, obj, ("start", "counts"), "grid")
+    try:
+        return RankGrid(start=obj.get("start", 2),
+                        counts=tuple(obj.get("counts", ())))
+    except ScenarioError as e:
+        raise _err(path, str(e)) from None
+
+
+def _parse_tolerance(path, obj) -> ToleranceSpec | None:
+    if obj is None:
+        return None
+    if not isinstance(obj, dict):
+        raise _err(path, "[tolerance] must be a table")
+    _check_keys(path, obj, ("mode", "rtol", "requires_full", "notes"),
+                "tolerance")
+    try:
+        return ToleranceSpec(
+            mode=obj.get("mode"),
+            rtol=obj.get("rtol"),
+            requires_full=bool(obj.get("requires_full", False)),
+            notes=obj.get("notes", ""))
+    except ScenarioError as e:
+        raise _err(path, str(e)) from None
+
+
+def load_toml_scenario(path: str | Path) -> Scenario:
+    """Parse one scenario TOML file into a runnable Scenario."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as e:
+        raise ScenarioError(f"cannot read scenario file {path}: {e}") from None
+    try:
+        doc = tomllib.loads(raw.decode("utf-8"))
+    except (tomllib.TOMLDecodeError, UnicodeDecodeError) as e:
+        raise _err(path, f"invalid TOML: {e}") from None
+
+    _check_keys(path, doc, ("scenario", "machines", "workload", "grid",
+                            "references", "tolerance"), "file root")
+    head = doc.get("scenario")
+    if not isinstance(head, dict):
+        raise _err(path, "a [scenario] table with an id is required")
+    _check_keys(path, head, ("id", "kind", "title", "description", "tags",
+                             "xlabel", "ylabel", "metric"), "scenario")
+    sid = head.get("id")
+    if not isinstance(sid, str) or not sid:
+        raise _err(path, "scenario.id must be a non-empty string")
+    if head.get("kind", "figure") != "figure":
+        raise _err(path, "TOML scenarios currently support kind = 'figure'")
+    tags = head.get("tags", [])
+    if not (isinstance(tags, list) and all(isinstance(t, str) for t in tags)):
+        raise _err(path, "scenario.tags must be a list of strings")
+
+    workload = _parse_workload(path, doc.get("workload"))
+    machines = _parse_machines(path, doc.get("machines"))
+    grid = _parse_grid(path, doc.get("grid"))
+    metric = head.get("metric", workload.get("metric",
+                                             _DEFAULT_METRIC[workload["kind"]]))
+    try:
+        references = parse_references(doc.get("references"), where=str(path))
+    except ScenarioError:
+        raise
+    tolerance = _parse_tolerance(path, doc.get("tolerance"))
+
+    # Machines must resolve now so a bad catalog name fails at load time
+    # with the file in the message, not deep inside a worker.
+    for md in machines:
+        try:
+            md.resolve()
+        except Exception as e:
+            raise _err(path, f"machine {md.name!r}: {e}") from None
+
+    scenario = PointSweepScenario(
+        sid,
+        machines=machines,
+        workload=workload,
+        grid=grid,
+        metric=metric,
+        xlabel=head.get("xlabel", "CPUs"),
+        ylabel=head.get("ylabel"),
+        title=head.get("title", ""),
+        description=head.get("description", ""),
+        tags=tuple(tags),
+        tolerance=tolerance,
+        references=references,
+    )
+    scenario.source = str(path)
+    return scenario
+
+
+__all__ = ["MachineDef", "PointSweepScenario", "load_toml_scenario"]

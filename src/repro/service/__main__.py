@@ -99,9 +99,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="stop serving after S seconds")
     _add_config_flags(serve)
 
-    submit = sub.add_parser("submit", help="submit figures/tables as a job")
+    submit = sub.add_parser("submit",
+                            help="submit figures/tables/scenarios as a job")
     submit.add_argument("items", nargs="+", metavar="ITEM",
-                        help="figure/table ids (fig06, 6, table2, ...)")
+                        help="figure/table ids (fig06, 6, table2, ...) or "
+                             "registered scenario names "
+                             "(python -m repro.scenarios list)")
     submit.add_argument("--max-cpus", type=int, default=None,
                         help="cap CPU sweeps")
     submit.add_argument("--wait", action="store_true",

@@ -314,7 +314,9 @@ class JobQueue:
         from ..harness.report import save_figure, save_table
 
         out = self.artifacts_dir / job.id
-        if ident.startswith("table"):
+        # Route on result type, not the identifier: scenario ids carry no
+        # fig/table prefix yet still render as one or the other.
+        if hasattr(result, "table_id"):
             save_table(result, out)
         else:
             save_figure(result, out)

@@ -23,7 +23,8 @@ from ..core import sched
 from ..core.errors import ConfigError
 from ..exec import available_exec_backends, using_executor
 from ..harness.figures import ALL_FIGURES
-from ..harness.runner import _BadId, _norm_fig, _norm_table, _resolve_ids, check_output_paths
+from ..harness.runner import (_BadId, _norm_fig, _norm_table, _resolve_ids,
+                              _resolve_scenarios, check_output_paths)
 from ..harness.tables import ALL_TABLES
 from .gate import run_validation
 from .report import EXIT_USAGE
@@ -39,6 +40,12 @@ def main(argv: list[str] | None = None) -> int:
                     help="restrict the golden gate to this figure; repeatable")
     ap.add_argument("--table", action="append", default=[],
                     help="restrict the golden gate to this table; repeatable")
+    ap.add_argument("--scenario", action="append", default=[],
+                    metavar="NAME",
+                    help="also check this registered scenario's declarative "
+                         "references (asymmetric tolerances); repeatable")
+    ap.add_argument("--all-scenarios", action="store_true",
+                    help="check every registered scenario's references")
     ap.add_argument("--max-cpus", type=int, default=None,
                     help="cap CPU sweeps (items marked requires_full are "
                          "then reported uncovered, not compared)")
@@ -86,9 +93,14 @@ def main(argv: list[str] | None = None) -> int:
     try:
         figures = _resolve_ids(args.figure, _norm_fig, ALL_FIGURES, "figure")
         tables = _resolve_ids(args.table, _norm_table, ALL_TABLES, "table")
+        scenarios = _resolve_scenarios(args.scenario)
     except _BadId as exc:
         print(exc, file=sys.stderr)
         return EXIT_USAGE
+    if args.all_scenarios:
+        from ..scenarios import scenario_ids
+
+        scenarios = list(scenario_ids())
     err = check_output_paths(None, None, args.report)
     if err is not None:
         print(f"error: {err}", file=sys.stderr)
@@ -113,6 +125,7 @@ def main(argv: list[str] | None = None) -> int:
             report = run_validation(
                 figures=figures if explicit else None,
                 tables=tables if explicit else None,
+                scenarios=scenarios or None,
                 results_dir=args.results,
                 manifest_path=args.manifest,
                 max_cpus=args.max_cpus,

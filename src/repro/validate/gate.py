@@ -53,6 +53,7 @@ def run_validation(
     figures: list[str] | None = None,
     tables: list[str] | None = None,
     *,
+    scenarios: list[str] | None = None,
     results_dir: str | Path = "results",
     manifest_path: str | Path | None = None,
     max_cpus: int | None = None,
@@ -68,7 +69,12 @@ def run_validation(
     """Run the enabled validation layers and collect one report.
 
     ``figures``/``tables`` default to every known item when the golden
-    layer is on.  Runs through the ambient executor — install one with
+    layer is on.  ``scenarios`` names registered scenarios whose
+    declarative references are checked (asymmetric tolerances; see
+    :mod:`repro.scenarios`) — reference checks that only hold at full
+    scale report ``uncovered`` under a ``max_cpus`` cap, mirroring the
+    golden layer's ``requires_full`` semantics.  Runs through the
+    ambient executor — install one with
     :func:`repro.exec.using_executor` to parallelise or cache.
     """
     report = ValidationReport(max_cpus=max_cpus)
@@ -80,6 +86,11 @@ def run_validation(
             else manifest_path_for(results_dir))
         report.items = run_golden(figs, tabs, results_dir=results_dir,
                                   manifest=manifest, max_cpus=max_cpus)
+    if scenarios:
+        from ..scenarios import check_scenarios
+
+        suite = check_scenarios(scenarios, max_cpus=max_cpus)
+        report.scenarios = suite.to_dict()
     if invariants:
         report.invariants = run_invariants(
             max_cpus=max_cpus if max_cpus is not None else 16, jobs=jobs)

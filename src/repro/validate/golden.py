@@ -47,17 +47,17 @@ _FLOAT_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?")
 
 
 def clear_figure_caches() -> None:
-    """Drop the figure layer's memoised sweeps.
+    """Drop the scenario layer's memoised sweeps.
 
     The golden gate must *recompute*, not replay a value memoised before
     the change under test existed (tests monkeypatch calibration
-    constants; long-lived processes may hold pre-edit sweeps).
+    constants; long-lived processes may hold pre-edit sweeps).  The
+    memos live in :mod:`repro.scenarios.builtin` now; the harness
+    figure-layer aliases point at the same function objects.
     """
-    from ..harness import figures as _figures
+    from ..scenarios.builtin import clear_scenario_caches
 
-    _figures._ring_hpl_sweep.cache_clear()
-    _figures._stream_hpl_sweep.cache_clear()
-    _figures.flagship_results.cache_clear()
+    clear_scenario_caches()
 
 
 # ---------------------------------------------------------------------------

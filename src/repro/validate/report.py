@@ -115,10 +115,15 @@ class ValidationReport:
     invariants: list[InvariantResult] = field(default_factory=list)
     fuzz: dict | None = None     # FuzzReport.to_dict(), when the fuzzer ran
     ledger: dict | None = None   # run-ledger layer, when a ledger was checked
+    scenarios: list[dict] = field(default_factory=list)  # ScenarioCheck dicts
 
     @property
     def golden_ok(self) -> bool:
         return all(i.status in (OK, UNCOVERED) for i in self.items)
+
+    @property
+    def scenarios_ok(self) -> bool:
+        return all(s.get("status") != FAIL for s in self.scenarios)
 
     @property
     def invariants_ok(self) -> bool:
@@ -138,7 +143,7 @@ class ValidationReport:
     @property
     def ok(self) -> bool:
         return (self.golden_ok and self.invariants_ok and self.fuzz_ok
-                and self.ledger_ok)
+                and self.ledger_ok and self.scenarios_ok)
 
     def exit_code(self) -> int:
         return EXIT_OK if self.ok else EXIT_REGRESSION
@@ -154,6 +159,7 @@ class ValidationReport:
             "invariants": [r.to_dict() for r in self.invariants],
             "fuzz": self.fuzz,
             "ledger": self.ledger,
+            "scenarios": self.scenarios,
         }
 
     # -- human rendering -----------------------------------------------------
@@ -193,6 +199,24 @@ class ValidationReport:
                     lines.append(f"    ... and {len(bad) - max_failures} more")
                 for a in item.broken_anchors:
                     lines.append(f"    paper anchor broken: {a}")
+        if self.scenarios:
+            n_ok = sum(1 for s in self.scenarios if s.get("status") == OK)
+            n_unc = sum(1 for s in self.scenarios
+                        if s.get("status") == UNCOVERED)
+            head = (f"scenarios: {n_ok}/{len(self.scenarios)} "
+                    f"reference checks ok")
+            if n_unc:
+                head += f"; {n_unc} uncovered at this scale"
+            lines.append(head)
+            for s in self.scenarios:
+                if s.get("status") != FAIL:
+                    continue
+                lines.append(f"  {s.get('scenario'):<16s} FAIL "
+                             f"{s.get('detail', '')}")
+                for c in s.get("checks", []):
+                    if c.get("status") == FAIL:
+                        lines.append(f"    {c['machine']}.{c['metric']}: "
+                                     f"{c.get('detail', 'missing')}")
         if self.invariants:
             n_pass = sum(1 for r in self.invariants if r.passed)
             lines.append(f"invariants: {n_pass}/{len(self.invariants)} passed")

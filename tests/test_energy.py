@@ -296,6 +296,7 @@ def test_energy_ranking_covers_all_machines_and_is_sorted():
         assert e.edp_js == pytest.approx(e.energy_j * e.elapsed_s)
 
 
+@pytest.mark.requires_full
 def test_fig16_matches_committed_golden():
     """fig16 is analytic, so the full-scale golden is cheap to enforce
     here even though the capped CI golden gate must skip it."""
@@ -307,6 +308,7 @@ def test_fig16_matches_committed_golden():
     assert regenerated == committed
 
 
+@pytest.mark.requires_full
 def test_table4_matches_committed_golden():
     from repro.harness.report import table_to_csv
     from repro.harness.tables import table4

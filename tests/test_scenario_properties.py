@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on the scenario layer.
+
+Three families, per the scenario subsystem's contracts:
+
+* asymmetric reference comparison is *order-correct*: the classification
+  ("below" / "ok" / "above") always agrees with the interval arithmetic,
+  including negative reference values and one-sided (``None``) bounds;
+* the tolerance manifest round trip is lossless: references written into
+  the generated ``TOLERANCES.json`` document parse back equal, even
+  through an actual JSON encode/decode;
+* malformed scenario TOML always surfaces as :class:`ScenarioError`
+  naming the offending file — never a raw traceback from the parser.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import Reference, ScenarioError
+from repro.scenarios.manifest_sync import (
+    generate_manifest_doc,
+    parse_manifest_references,
+    render_manifest,
+)
+from repro.scenarios.toml_loader import load_toml_scenario
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e12, max_value=1e12)
+tol = st.one_of(st.none(), st.floats(min_value=0, max_value=10,
+                                     allow_nan=False))
+
+
+# -- reference comparison order-correctness ----------------------------------
+
+@given(value=finite, lower=tol, upper=tol, actual=finite)
+def test_reference_check_agrees_with_bounds(value, lower, upper, actual):
+    ref = Reference(value, lower, upper)
+    lo, hi = ref.bounds()
+    verdict = ref.check(actual)
+    if verdict == "below":
+        assert lo is not None and actual < lo
+    elif verdict == "above":
+        assert hi is not None and actual > hi
+    else:
+        assert verdict == "ok"
+        assert lo is None or actual >= lo
+        assert hi is None or actual <= hi
+
+
+@given(value=finite, lower=tol, upper=tol)
+def test_reference_interval_is_ordered_and_contains_value(value, lower, upper):
+    """|value| scaling keeps lo <= value <= hi even for negative values,
+    so the reference itself always passes its own check."""
+    ref = Reference(value, lower, upper)
+    lo, hi = ref.bounds()
+    if lo is not None:
+        assert lo <= value
+    if hi is not None:
+        assert hi >= value
+    assert ref.check(value) == "ok"
+
+
+@given(value=finite, lower=tol, upper=tol, actual=finite)
+def test_reference_bounds_are_inclusive(value, lower, upper, actual):
+    ref = Reference(value, lower, upper)
+    lo, hi = ref.bounds()
+    if lo is not None:
+        assert ref.check(lo) != "below"
+    if hi is not None:
+        assert ref.check(hi) != "above"
+
+
+@given(value=finite, lower=st.floats(min_value=0, max_value=10,
+                                     allow_nan=False))
+def test_one_sided_reference_is_unbounded_on_the_none_side(value, lower):
+    ref = Reference(value, lower_tol=lower, upper_tol=None)
+    assert ref.check(value + 10 * abs(value) + 1e15) == "ok"
+
+
+@given(value=finite, bad=st.floats(max_value=-1e-9, allow_nan=False))
+def test_negative_tolerance_rejected(value, bad):
+    with pytest.raises(ScenarioError):
+        Reference(value, lower_tol=bad)
+
+
+# -- manifest round trip -----------------------------------------------------
+
+@given(value=finite, lower=tol, upper=tol)
+def test_reference_json_roundtrip_is_lossless(value, lower, upper):
+    ref = Reference(value, lower, upper)
+    assert Reference.from_obj(ref.to_json()) == ref
+    # ... and through an actual JSON encode/decode.
+    assert Reference.from_obj(json.loads(json.dumps(ref.to_json()))) == ref
+
+
+def test_manifest_roundtrip_recovers_scenario_references():
+    from repro.scenarios import paper_scenarios
+
+    doc = json.loads(render_manifest(generate_manifest_doc()))
+    parsed = parse_manifest_references(doc)
+    declared = {s.scenario_id: s.references
+                for s in paper_scenarios() if s.references}
+    assert parsed == declared
+
+
+# -- malformed TOML is a usage error, never a traceback ----------------------
+
+VALID = """\
+[scenario]
+id = "prop_check"
+
+[machines.xeon]
+
+[workload]
+kind = "imb"
+benchmark = "Bcast"
+"""
+
+#: Structured corruptions: each must fail, and fail as ScenarioError.
+CORRUPTIONS = [
+    "",                                              # empty file
+    "not toml at all [",                             # TOML syntax error
+    "[scenario]\nid = 3",                            # wrong id type
+    VALID.replace('id = "prop_check"', ""),          # missing id
+    VALID.replace("[workload]", "[payload]"),        # unknown root table
+    VALID.replace('kind = "imb"', 'kind = "mpi"'),   # unknown workload kind
+    VALID.replace('benchmark = "Bcast"',
+                  'benchmark = "Telepathy"'),        # unknown benchmark
+    VALID.replace("[machines.xeon]",
+                  "[machines.bad]\nbase = \"xeon\""),  # base without max_cpus
+    VALID + "[grid]\ncounts = [0]\n",                # non-positive count
+    VALID + "[tolerance]\nmode = \"vibes\"\n",       # unknown tolerance mode
+    VALID + "[references]\nxeon = 3\n",              # non-table references
+    VALID + "[workload.fault]\nkind = \"slow_node\"\n",  # fault w/o factor
+    VALID + "unknown_key = 1\n",                     # unknown scenario key
+]
+
+
+@pytest.mark.parametrize("text", CORRUPTIONS)
+def test_malformed_toml_raises_scenario_error_naming_the_file(tmp_path, text):
+    path = tmp_path / "broken.toml"
+    path.write_text(text)
+    with pytest.raises(ScenarioError) as exc:
+        load_toml_scenario(path)
+    assert "broken.toml" in str(exc.value)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(max_size=200))
+def test_arbitrary_text_never_escapes_scenario_error(tmp_path_factory, text):
+    path = tmp_path_factory.mktemp("fuzz") / "fuzz.toml"
+    path.write_text(text, encoding="utf-8")
+    try:
+        load_toml_scenario(path)
+    except ScenarioError as e:
+        assert "fuzz.toml" in str(e)
+    # Anything else propagating (TOMLDecodeError, KeyError, ...) fails.
