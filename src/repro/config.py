@@ -23,6 +23,7 @@ Environment variables:
 ``REPRO_CACHE_DIR``    result-cache directory (default ``.repro_cache``)
 ``REPRO_NO_CACHE``     ``1`` disables the on-disk result cache
 ``REPRO_ENERGY``       ``1`` enables energy accounting (``--energy``)
+``REPRO_TELEMETRY``    ``1`` enables service telemetry (``--telemetry``)
 =====================  =====================================================
 """
 
@@ -49,6 +50,9 @@ NO_CACHE_ENV = "REPRO_NO_CACHE"
 
 #: Environment variable enabling energy accounting (``1``/``true``).
 ENERGY_ENV = "REPRO_ENERGY"
+
+#: Environment variable enabling service telemetry (``1``/``true``).
+TELEMETRY_ENV = "REPRO_TELEMETRY"
 
 #: Default cache location (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -108,6 +112,9 @@ class ReproConfig:
     cache: bool = True
     #: Whether energy accounting (:mod:`repro.obs.energy`) is recorded.
     energy: bool = False
+    #: Whether service telemetry (:mod:`repro.obs.telemetry` traces plus
+    #: :mod:`repro.service.health` events/exposition) is recorded.
+    telemetry: bool = False
 
     # -- construction -------------------------------------------------------
 
@@ -123,7 +130,8 @@ class ReproConfig:
                           exec_backend: str | None = None,
                           cache_dir: str | None = None,
                           no_cache: bool | None = None,
-                          energy: bool | None = None) -> "ReproConfig":
+                          energy: bool | None = None,
+                          telemetry: bool | None = None) -> "ReproConfig":
         """Resolve a config: explicit argument > env var > default.
 
         ``args`` may be an ``argparse.Namespace`` (or any object) whose
@@ -180,9 +188,13 @@ class ReproConfig:
         if r_energy is None:
             r_energy = _env_flag(ENERGY_ENV) or False
 
+        r_telemetry = arg("telemetry", telemetry)
+        if r_telemetry is None:
+            r_telemetry = _env_flag(TELEMETRY_ENV) or False
+
         return cls(jobs=r_jobs, engine_backend=r_engine, exec_backend=r_exec,
                    cache_dir=str(r_cache_dir), cache=not r_no_cache,
-                   energy=bool(r_energy))
+                   energy=bool(r_energy), telemetry=bool(r_telemetry))
 
     # -- derived objects ----------------------------------------------------
 
@@ -219,4 +231,5 @@ class ReproConfig:
             "cache_dir": self.cache_dir,
             "cache": self.cache,
             "energy": self.energy,
+            "telemetry": self.telemetry,
         }

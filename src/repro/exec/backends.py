@@ -55,6 +55,7 @@ from ..core.errors import ConfigError
 from ..obs.commviz import CommRecorder, get_commviz, set_commviz
 from ..obs.energy import EnergyRecorder, get_energy, set_energy
 from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from ..obs.telemetry import get_telemetry
 from ..obs.timeline import TimelineRecorder, get_timeline, set_timeline
 from .points import SimPoint
 from .worker import PointRecord, compute_point
@@ -94,6 +95,7 @@ class WorkerContext:
     comm: bool = False
     timeline: bool = False
     energy: bool = False
+    telemetry: bool = False
     engine_backend: str | None = None
 
     @classmethod
@@ -103,11 +105,13 @@ class WorkerContext:
                    comm=get_commviz().enabled,
                    timeline=get_timeline().enabled,
                    energy=get_energy().enabled,
+                   telemetry=get_telemetry().enabled,
                    engine_backend=sched.default_backend_name())
 
     def to_dict(self) -> dict:
         return {"metrics": self.metrics, "comm": self.comm,
                 "timeline": self.timeline, "energy": self.energy,
+                "telemetry": self.telemetry,
                 "engine_backend": self.engine_backend}
 
     @classmethod
@@ -116,6 +120,7 @@ class WorkerContext:
                    comm=bool(doc.get("comm")),
                    timeline=bool(doc.get("timeline")),
                    energy=bool(doc.get("energy")),
+                   telemetry=bool(doc.get("telemetry")),
                    engine_backend=doc.get("engine_backend"))
 
 
@@ -138,6 +143,10 @@ def init_worker(ctx: WorkerContext) -> None:
         set_timeline(TimelineRecorder(enabled=True))
     if ctx.energy:
         set_energy(EnergyRecorder(enabled=True))
+    # ctx.telemetry is deliberately NOT installed here: a process-global
+    # recorder in a pool worker would accumulate spans nobody drains.
+    # The fleet worker scopes a recorder per job message instead, and
+    # ships the spans back in the protocol reply (see repro.exec.fleet).
 
 
 class ExecBackend:
@@ -301,6 +310,14 @@ class SubprocessBackend(ExecBackend):
         self.jobs = max(1, int(jobs))
         self._fleet: list[_FleetWorker] = []
         self._ctx: WorkerContext | None = None
+        #: Cumulative worker-health counters (service fleet stats):
+        #: workers spawned, job requests answered, crashes (transport
+        #: failures that dropped the fleet), and workers spawned *after*
+        #: a crash (restarts).  Plain ints mutated under the GIL — reads
+        #: are snapshots via SweepExecutor.backend_health().
+        self.health = {"workers_spawned": 0, "requests": 0,
+                       "crashes": 0, "restarts": 0}
+        self._crashed = False
 
     def _ensure_fleet(self, n: int) -> list[_FleetWorker]:
         ctx = WorkerContext.capture()
@@ -311,6 +328,9 @@ class SubprocessBackend(ExecBackend):
         self._ctx = ctx
         while len(self._fleet) < n:
             self._fleet.append(_FleetWorker(ctx))
+            self.health["workers_spawned"] += 1
+            if self._crashed:
+                self.health["restarts"] += 1
         return self._fleet[:n]
 
     def compute(self, points: Sequence[SimPoint]) -> list[PointRecord]:
@@ -326,24 +346,40 @@ class SubprocessBackend(ExecBackend):
         for i in range(len(points)):
             shares[i % n_workers].append(i)
 
+        # Trace context captured on the dispatching thread: the pump
+        # threads below have no open spans of their own (the recorder's
+        # stacks are thread-local), so they carry both the context and
+        # the recorder object into the protocol explicitly.  This dict
+        # in the job message IS the cross-process propagation seam a
+        # remote (HTTP) worker would inherit.
+        tel = get_telemetry()
+        trace_ctx = tel.inject() if tel.enabled else None
+
         done: dict[int, PointRecord] = {}
         failures: list[str] = []
+        crashes = 0
         lock = threading.Lock()
 
         def pump(worker: _FleetWorker, share: list[int]) -> None:
+            nonlocal crashes
             for i in share:
+                msg = {"op": "job", "id": i,
+                       "point": encode_point(points[i])}
+                if trace_ctx is not None:
+                    msg["trace"] = trace_ctx
                 try:
-                    worker.send({"op": "job", "id": i,
-                                 "point": encode_point(points[i])})
+                    worker.send(msg)
                     reply = worker.recv()
                 except (OSError, ValueError, json.JSONDecodeError) as exc:
                     with lock:
                         failures.append(f"worker i/o failed: {exc}")
+                        crashes += 1
                     return
                 if reply is None:
                     with lock:
                         failures.append(
                             f"worker exited mid-batch (point {i})")
+                        crashes += 1
                     return
                 if reply.get("op") == "error":
                     with lock:
@@ -353,6 +389,9 @@ class SubprocessBackend(ExecBackend):
                     return
                 with lock:
                     done[reply["id"]] = decode_record(reply["record"])
+                    self.health["requests"] += 1
+                if trace_ctx is not None:
+                    tel.adopt(reply.get("spans"))
 
         threads = [threading.Thread(target=pump, args=(w, s), daemon=True)
                    for w, s in zip(fleet, shares)]
@@ -362,6 +401,9 @@ class SubprocessBackend(ExecBackend):
             t.join()
 
         if failures:
+            self.health["crashes"] += crashes
+            if crashes:
+                self._crashed = True
             self.close()  # drop the whole fleet; survivors restart lazily
             raise ExecBackendError(
                 "; ".join(failures), done=done)

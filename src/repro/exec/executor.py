@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 import warnings
 from collections.abc import Sequence
 from time import perf_counter
@@ -35,6 +36,7 @@ from ..core import sched
 from ..obs.commviz import get_commviz
 from ..obs.energy import get_energy
 from ..obs.metrics import get_metrics
+from ..obs.telemetry import get_telemetry
 from ..obs.timeline import get_timeline
 from .backends import ExecBackend, ExecBackendError, make_exec_backend
 from .cache import ResultCache
@@ -94,14 +96,29 @@ class SweepExecutor:
 
     def run_points(self, points: Sequence[SimPoint]) -> list[Any]:
         """Compute every point; values returned in input order."""
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._run_points(points, None)
+        with tel.span("sweep.batch", "exec", points=len(points),
+                      backend=self.backend.name):
+            return self._run_points(points, tel)
+
+    def _run_points(self, points: Sequence[SimPoint], tel) -> list[Any]:
         records: list[PointRecord | None] = [None] * len(points)
         misses: list[tuple[int, SimPoint]] = []
         fresh_idx: set[int] = set()
         coalesced_idx: set[int] = set()
         for i, pt in enumerate(points):
+            t_h0 = time.time() if tel is not None else 0.0
             rec = self._cache_get(pt)
             if rec is not None:
                 records[i] = rec
+                if tel is not None:
+                    # Exact lookup timing: cache hits are real (if tiny)
+                    # phases of the job, and the trace must show them.
+                    tel.record("point.cache_hit", "exec",
+                               t_start=t_h0, t_end=time.time(),
+                               point=pt.key())
             else:
                 misses.append((i, pt))
 
@@ -115,9 +132,20 @@ class SweepExecutor:
         self.cache_misses += len(misses)
 
         if misses:
+            dspan = tel.begin("exec.dispatch", "exec",
+                              backend=self.backend.name,
+                              points=len(misses)) if tel is not None else None
             t0 = perf_counter()
-            computed, owned = self._compute_misses([pt for _i, pt in misses])
+            try:
+                computed, owned = self._compute_misses(
+                    [pt for _i, pt in misses])
+            except BaseException:
+                if tel is not None:
+                    tel.end(dspan, status="error")
+                raise
             self.compute_wall_s += perf_counter() - t0
+            if tel is not None:
+                tel.end(dspan)
             for ((i, pt), rec, is_owned) in zip(misses, computed, owned):
                 records[i] = rec
                 (fresh_idx if is_owned else coalesced_idx).add(i)
@@ -166,6 +194,7 @@ class SweepExecutor:
                 self._cache_put(pt, rec)
             return records, [True] * len(pts)
 
+        tel = get_telemetry()
         tag = sched.backend_result_tag()
         claims = [self.coalescer.claim(
             pt.key() if tag is None else f"{pt.key()}\n{tag}")
@@ -185,6 +214,11 @@ class SweepExecutor:
                 owned_flags[j] = False  # computed elsewhere, like a join
                 claim.publish(rec)
             else:
+                if tel.enabled:
+                    # Stamp the owner's causal position on the flight so
+                    # waiters in sibling jobs can link their coalesced
+                    # spans to the computation they piggybacked on.
+                    claim.set_owner_ctx(tel.inject())
                 owned_pairs.append((j, pt))
         try:
             owned_records = self._compute_with_requeue(
@@ -200,6 +234,7 @@ class SweepExecutor:
         for j, claim in enumerate(claims):
             if records[j] is not None or claim.owner:
                 continue
+            t_w0 = time.time() if tel.enabled else 0.0
             rec = claim.wait()
             if rec is None:
                 # The owner failed; compute it ourselves rather than
@@ -207,6 +242,13 @@ class SweepExecutor:
                 rec = compute_point(pts[j])
                 self._cache_put(pts[j], rec)
                 owned_flags[j] = True
+            elif tel.enabled:
+                octx = claim.owner_ctx() or {}
+                tel.record("point.coalesced", "exec",
+                           t_start=t_w0, t_end=time.time(),
+                           point=pts[j].key(),
+                           owner_trace_id=octx.get("trace_id"),
+                           owner_span_id=octx.get("parent_span_id"))
             records[j] = rec
         return records, owned_flags
 
@@ -222,11 +264,20 @@ class SweepExecutor:
         try:
             return list(self.backend.compute(pts))
         except ExecBackendError as exc:
+            tel = get_telemetry()
             out: list[PointRecord] = []
             for i, pt in enumerate(pts):
                 rec = exc.done.get(i)
                 if rec is None:
-                    rec = compute_point(pt)
+                    if tel.enabled:
+                        # The inline recompute traces itself (it runs
+                        # under this thread's ambient recorder); mark
+                        # *why* it ran with a requeue span around it.
+                        with tel.span("point.requeue", "exec",
+                                      point=pt.key(), error=str(exc)[:200]):
+                            rec = compute_point(pt)
+                    else:
+                        rec = compute_point(pt)
                     self.requeued += 1
                 out.append(rec)
             return out
@@ -297,6 +348,16 @@ class SweepExecutor:
             "events": self.events,
             "compute_wall_s": self.compute_wall_s,
         }
+
+    def backend_health(self) -> dict | None:
+        """Worker-health counters of the backend, if it keeps any.
+
+        The ``subprocess`` fleet counts workers spawned, requests
+        served, crashes, and post-crash restarts; backends without
+        worker processes return None.
+        """
+        health = getattr(self.backend, "health", None)
+        return dict(health) if health else None
 
 
 # -- thread-ambient executor context ----------------------------------------

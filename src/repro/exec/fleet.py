@@ -5,9 +5,11 @@ protocol on stdin/stdout — one JSON object per line, one reply per job:
 
 ========================  ==================================================
 parent -> worker          ``{"op": "init", "ctx": {...}}`` (once, first)
-                          ``{"op": "job", "id": N, "point": <b64 pickle>}``
+                          ``{"op": "job", "id": N, "point": <b64 pickle>,``
+                          ``"trace": {...}?}`` (trace context, optional)
                           ``{"op": "shutdown"}``
-worker -> parent          ``{"op": "result", "id": N, "record": <b64>}``
+worker -> parent          ``{"op": "result", "id": N, "record": <b64>,``
+                          ``"spans": [...]?}`` (telemetry spans, optional)
                           ``{"op": "error", "id": N, "error": "..."}``
 ========================  ==================================================
 
@@ -34,6 +36,7 @@ def serve(stdin, stdout) -> int:
     # Imports deferred so ``init`` can set the scheduler backend before
     # any engine state is touched — and so a protocol error in the very
     # first line doesn't pay the full model import.
+    from ..obs.telemetry import TelemetryRecorder, using_telemetry
     from .backends import (WorkerContext, decode_point, encode_record,
                            init_worker)
     from .worker import compute_point
@@ -57,10 +60,28 @@ def serve(stdin, stdout) -> int:
             continue
         if op == "job":
             job_id = msg.get("id")
+            trace = msg.get("trace")
             try:
-                record = compute_point(decode_point(msg["point"]))
+                point = decode_point(msg["point"])
+                if trace:
+                    # A per-message recorder seeded with the parent's
+                    # trace context: the worker's spans are children of
+                    # the dispatching span across the process boundary,
+                    # and travel home in the reply — never in the
+                    # record, which must stay cache-identical whether
+                    # or not the run was traced.
+                    recorder = TelemetryRecorder(enabled=True,
+                                                 context=trace)
+                    with using_telemetry(recorder):
+                        record = compute_point(point)
+                    spans = recorder.drain()
+                else:
+                    record = compute_point(point)
+                    spans = None
                 reply = {"op": "result", "id": job_id,
                          "record": encode_record(record)}
+                if spans:
+                    reply["spans"] = spans
             except Exception:
                 reply = {"op": "error", "id": job_id,
                          "error": traceback.format_exc(limit=20)}

@@ -22,6 +22,7 @@ from ..core.engine import EVENT_STATS
 from ..obs.commviz import CommRecorder, get_commviz, using_commviz
 from ..obs.energy import EnergyRecorder, get_energy, using_energy
 from ..obs.metrics import MetricsRegistry, get_metrics, using_metrics
+from ..obs.telemetry import get_telemetry
 from ..obs.timeline import TimelineRecorder, get_timeline, using_timeline
 from ..hpcc import RingConfig, hpl_model_time, run_hpcc, run_ring, run_stream
 from ..hpcc.suite import scaled_config
@@ -226,39 +227,54 @@ def compute_point(point: SimPoint) -> PointRecord:
     comm_on = get_commviz().enabled
     tl_on = get_timeline().enabled
     en_on = get_energy().enabled
+    # Telemetry traces the *host-side* act of computing — the span rides
+    # on the ambient recorder (or, in a fleet worker, travels back in
+    # the protocol reply), never on the record: records are pickled into
+    # the content-addressed cache and per-run trace ids there would
+    # break traced==untraced byte-identity.
+    tel = get_telemetry()
+    tspan = tel.begin("point.compute", "point",
+                      point=point.key(), kind=point.kind,
+                      machine=point.machine, nprocs=point.nprocs) \
+        if tel.enabled else None
     ev0 = EVENT_STATS["processed"]
     t0 = perf_counter()
     snapshot = comm_snap = tl_snap = en_snap = None
-    if collect or comm_on or tl_on or en_on:
-        child = commrec = tlrec = enrec = None
-        with contextlib.ExitStack() as stack:
-            if collect:
-                child = MetricsRegistry(enabled=True)
-                stack.enter_context(using_metrics(child))
-            if comm_on:
-                commrec = CommRecorder(enabled=True)
-                commrec.set_phase(point_phase(point))
-                stack.enter_context(using_commviz(commrec))
-            if tl_on:
-                tlrec = TimelineRecorder(enabled=True)
-                tlrec.set_phase(point_phase(point))
-                stack.enter_context(using_timeline(tlrec))
-            if en_on:
-                enrec = EnergyRecorder(enabled=True)
-                enrec.set_phase(point_phase(point))
-                stack.enter_context(using_energy(enrec))
+    try:
+        if collect or comm_on or tl_on or en_on:
+            child = commrec = tlrec = enrec = None
+            with contextlib.ExitStack() as stack:
+                if collect:
+                    child = MetricsRegistry(enabled=True)
+                    stack.enter_context(using_metrics(child))
+                if comm_on:
+                    commrec = CommRecorder(enabled=True)
+                    commrec.set_phase(point_phase(point))
+                    stack.enter_context(using_commviz(commrec))
+                if tl_on:
+                    tlrec = TimelineRecorder(enabled=True)
+                    tlrec.set_phase(point_phase(point))
+                    stack.enter_context(using_timeline(tlrec))
+                if en_on:
+                    enrec = EnergyRecorder(enabled=True)
+                    enrec.set_phase(point_phase(point))
+                    stack.enter_context(using_energy(enrec))
+                value = fn(point)
+            if child is not None:
+                snapshot = child.snapshot()
+            if commrec is not None:
+                comm_snap = commrec.snapshot()
+            if tlrec is not None:
+                tl_snap = tlrec.snapshot()
+            if enrec is not None:
+                en_snap = enrec.snapshot()
+        else:
             value = fn(point)
-        if child is not None:
-            snapshot = child.snapshot()
-        if commrec is not None:
-            comm_snap = commrec.snapshot()
-        if tlrec is not None:
-            tl_snap = tlrec.snapshot()
-        if enrec is not None:
-            en_snap = enrec.snapshot()
-    else:
-        value = fn(point)
+    except BaseException:
+        tel.end(tspan, status="error")
+        raise
     wall = perf_counter() - t0
+    tel.end(tspan)
     return PointRecord(value=value, wall_s=wall,
                        events=EVENT_STATS["processed"] - ev0,
                        metrics=snapshot, comm=comm_snap, timeline=tl_snap,

@@ -34,7 +34,10 @@ from pathlib import Path
 #: Bump when the embedded run-document layout changes incompatibly.
 #: v2: optional ``energy`` section (per-phase joules + totals) when the
 #: run had energy accounting on; absent key means accounting was off.
-REPORT_SCHEMA_VERSION = 2
+#: v3: optional ``telemetry`` (distributed-trace summary) and
+#: ``service`` (service-metrics snapshot) sections when the run had
+#: ``--telemetry`` on; they feed the service-health panel.
+REPORT_SCHEMA_VERSION = 3
 
 # Sequential blue ramp (steps 100..700) — magnitude encoding, light = near zero.
 _SEQ_RAMP = (
@@ -123,7 +126,9 @@ def _seq_color(frac: float) -> str:
 def build_run_doc(*, harness: dict, totals: dict, items: list[dict],
                   comm: dict | None, timeline: dict | None,
                   observed: dict | None, spans: list[dict],
-                  ledger: dict | None, energy: dict | None = None) -> dict:
+                  ledger: dict | None, energy: dict | None = None,
+                  telemetry: dict | None = None,
+                  service: dict | None = None) -> dict:
     """Assemble the machine-readable run document the report renders.
 
     ``observed`` is ``{fig_id: {machine: {"critical_path", "straggler",
@@ -131,7 +136,10 @@ def build_run_doc(*, harness: dict, totals: dict, items: list[dict],
     ``{"path", "entries", "trend", "regression"}`` or None; ``energy``
     is ``{"totals", "phases"}`` from the energy recorder, or None when
     accounting was off (the key is still present so readers need no
-    version probing).
+    version probing).  ``telemetry`` is a
+    :func:`~repro.obs.telemetry.trace_summary` document and ``service``
+    a :class:`~repro.service.health.ServiceMetrics` snapshot — both
+    None when the run was untraced.
     """
     return {
         "schema_version": REPORT_SCHEMA_VERSION,
@@ -144,6 +152,8 @@ def build_run_doc(*, harness: dict, totals: dict, items: list[dict],
         "spans": spans,
         "ledger": ledger,
         "energy": energy,
+        "telemetry": telemetry,
+        "service": service,
     }
 
 
@@ -547,6 +557,68 @@ def _phase_totals_rows(comm: dict) -> str:
     return "".join(rows)
 
 
+def _trace_rows(telemetry: dict) -> str:
+    """One table row per reassembled trace in the telemetry summary."""
+    rows = []
+    for tid, t in sorted(telemetry.get("traces", {}).items()):
+        cats = ", ".join(f"{c}:{n}" for c, n in
+                         sorted(t.get("by_cat", {}).items()))
+        errs = t.get("errors", 0)
+        err_html = (f'<span class="flag">{errs}</span>' if errs
+                    else f'<span class="ok">0</span>')
+        rows.append(
+            f"<tr><td><code>{_esc(tid)}</code></td>"
+            f"<td>{_esc(t.get('root_name', '?'))}</td>"
+            f"<td>{t.get('spans', 0)}</td>"
+            f"<td>{_esc(_fmt_s(t.get('wall_s', 0.0)))}</td>"
+            f"<td>{err_html}</td><td>{_esc(cats)}</td></tr>"
+        )
+    return "".join(rows)
+
+
+def _service_health_html(telemetry: dict | None,
+                         service: dict | None) -> str:
+    """The service-health panel: fleet/queue tiles + per-trace summaries."""
+    if telemetry is None and service is None:
+        return ('<p class="muted">telemetry off for this run '
+                "(enable with <code>--telemetry</code>)</p>")
+    parts = []
+    if service is not None:
+        counters = service.get("counters", {})
+        gauges = service.get("gauges", {})
+
+        def v(name: str):
+            return counters.get(name, gauges.get(name, 0))
+
+        ratio = gauges.get("service.cache.hit_ratio")
+        tiles = [
+            ("jobs done", v("service.jobs.done")),
+            ("jobs failed", v("service.jobs.failed")),
+            ("queue depth hwm", v("service.queue.depth_hwm")),
+            ("coalesce owned", v("service.coalesce.owned")),
+            ("coalesce joined", v("service.coalesce.joined")),
+            ("fleet requests", v("service.fleet.requests")),
+            ("fleet crashes", v("service.fleet.crashes")),
+            ("fleet restarts", v("service.fleet.restarts")),
+            ("cache hit ratio",
+             "-" if ratio is None else f"{ratio * 100:.0f}%"),
+        ]
+        parts.append('<div class="tiles">' + "".join(
+            f'<div class="tile"><div class="v">{_esc(val)}</div>'
+            f'<div class="k">{_esc(k)}</div></div>' for k, val in tiles
+        ) + "</div>")
+    if telemetry is not None:
+        n = len(telemetry.get("traces", {}))
+        parts.append(
+            f'<p class="muted">{telemetry.get("spans", 0)} spans across '
+            f'{n} reassembled trace{"s" if n != 1 else ""}</p>'
+            "<table><tr><th>trace</th><th>root</th><th>spans</th>"
+            "<th>wall</th><th>errors</th><th>spans by category</th></tr>"
+            f"{_trace_rows(telemetry)}</table>"
+        )
+    return "".join(parts)
+
+
 def render_html(doc: dict) -> str:
     """Render the run document into one self-contained HTML page."""
     h = doc["harness"]
@@ -680,6 +752,9 @@ from the critical-path analyser; "binding" is when it sat on the path.</p>
 
 <h2>Energy</h2>
 {energy_html}
+
+<h2>Service telemetry &amp; health</h2>
+{_service_health_html(doc.get("telemetry"), doc.get("service"))}
 
 <h2>Run ledger</h2>
 {ledger_html}

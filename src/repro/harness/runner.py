@@ -54,20 +54,25 @@ from ..exec import (
     using_executor,
 )
 from ..obs import (
+    TRACE_SCHEMA_VERSION,
     CommRecorder,
     EnergyRecorder,
     MetricsRegistry,
     RunLedger,
     SpanRecorder,
+    TelemetryRecorder,
     TimelineRecorder,
     format_critical_path,
     git_sha,
     run_key,
+    trace_summary,
     using_commviz,
     using_energy,
     using_metrics,
+    using_telemetry,
     using_timeline,
     write_spans_chrome_trace,
+    write_trace_chrome_trace,
 )
 from .dashboard import build_run_doc, write_report
 from .figures import ALL_FIGURES
@@ -82,7 +87,9 @@ from .tables import ALL_TABLES
 #: v3: ``harness.exec_backend`` records the executor backend.
 #: v4: optional top-level ``energy`` section (per-component joules and
 #: totals, present only when the run had ``--energy`` on).
-BENCH_SCHEMA_VERSION = 4
+#: v5: optional top-level ``telemetry`` section (distributed-trace
+#: summary, present only when the run had ``--telemetry`` on).
+BENCH_SCHEMA_VERSION = 5
 
 # Id normalisation moved to the stable API surface; these aliases keep
 # the historical (internal) names importable.
@@ -237,6 +244,12 @@ def main(argv: list[str] | None = None) -> int:
                     help="account energy-to-solution per component "
                          "(machine power models; adds an energy section "
                          "to the bench stats, ledger, and HTML report)")
+    ap.add_argument("--telemetry", action="store_true", default=None,
+                    help="trace the run (submit/dispatch/compute spans, "
+                         "propagated across worker processes; adds a "
+                         "telemetry section to the bench stats and a "
+                         "trace id to the ledger row; REPRO_TELEMETRY "
+                         "env var)")
     ap.add_argument("--bench-json", default=None,
                     help="write per-figure perf/cache stats to this path "
                          "(default: BENCH_harness.json for --all runs)")
@@ -362,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
     commrec = CommRecorder(enabled=True) if want_obs else None
     tlrec = TimelineRecorder(enabled=True) if want_obs else None
     enrec = EnergyRecorder(enabled=True) if config.energy else None
+    telrec = TelemetryRecorder(enabled=True) if config.telemetry else None
     spans = SpanRecorder()
     bench_items = []
     cp_reports: dict[str, dict] = {}
@@ -397,6 +411,15 @@ def main(argv: list[str] | None = None) -> int:
         obs_scope.enter_context(using_timeline(tlrec))
     if enrec is not None:
         obs_scope.enter_context(using_energy(enrec))
+    if telrec is not None:
+        # One root span covers the whole run; executor/worker spans
+        # nest under it (ExitStack closes it LIFO, before the scope
+        # that made the recorder ambient is torn down).
+        obs_scope.enter_context(using_telemetry(telrec))
+        _tel_root = telrec.begin(
+            "harness.run", "service",
+            items=len(tables) + len(figures) + len(scenarios))
+        obs_scope.callback(telrec.end, _tel_root)
     try:
         with obs_scope, using_executor(executor):
             for t in tables:
@@ -490,10 +513,23 @@ def main(argv: list[str] | None = None) -> int:
           f"{totals['cache_misses']} misses, "
           f"{totals['events']} events]")
 
+    telemetry_doc = None
+    tel_spans: list[dict] = []
+    if telrec is not None:
+        tel_spans = telrec.drain()
+        telemetry_doc = {"schema_version": TRACE_SCHEMA_VERSION,
+                         **trace_summary(tel_spans)}
+        n_traces = len(telemetry_doc.get("traces", {}))
+        print(f"[telemetry: {telemetry_doc['spans']} spans in "
+              f"{n_traces} trace{'s' if n_traces != 1 else ''}]")
+
     if args.trace_dir is not None:
         trace_dir = Path(args.trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
         write_spans_chrome_trace(spans.roots, trace_dir / "harness_spans.json")
+        if tel_spans:
+            write_trace_chrome_trace(tel_spans,
+                                     trace_dir / "telemetry_trace.json")
         print(f"[traces -> {trace_dir}]")
 
     if args.metrics is not None:
@@ -553,6 +589,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     if energy_doc is not None:
         doc["energy"] = energy_doc
+    if telemetry_doc is not None:
+        doc["telemetry"] = telemetry_doc
     bench_path.parent.mkdir(parents=True, exist_ok=True)
     bench_path.write_text(json.dumps(doc, indent=1) + "\n")
     print(f"[bench stats -> {bench_path}]")
@@ -588,6 +626,11 @@ def main(argv: list[str] | None = None) -> int:
             row["energy_total_j"] = tot["total_j"]
             row["energy_avg_power_w"] = tot["avg_power_w"]
             row["energy_edp_js"] = tot["edp_js"]
+        if telemetry_doc is not None and telemetry_doc.get("traces"):
+            # Traced runs link their row to the run's trace; the full
+            # span summary lives in the bench stats document.
+            row["trace_id"] = next(iter(telemetry_doc["traces"]))
+            row["trace_spans"] = telemetry_doc["spans"]
         entry = ledger.append(row)
         verdict = ledger.check_regression(entry)
         ledger_info = {
@@ -618,6 +661,7 @@ def main(argv: list[str] | None = None) -> int:
             spans=spans.to_dicts(),
             ledger=ledger_info,
             energy=energy_doc,
+            telemetry=telemetry_doc,
         )
         report_path = write_report(run_doc, args.report)
         print(f"[report -> {report_path}]")

@@ -56,8 +56,22 @@ from .exporters import (
     write_chrome_trace,
     write_ndjson,
     write_spans_chrome_trace,
+    write_trace_chrome_trace,
 )
 from .ledger import LEDGER_SCHEMA_VERSION, RunLedger, git_sha, run_key
+from .telemetry import (
+    TRACE_SCHEMA_VERSION,
+    TelemetryRecorder,
+    TraceSpan,
+    assemble_traces,
+    get_telemetry,
+    mint_span_id,
+    mint_trace_id,
+    set_telemetry,
+    trace_summary,
+    traces_to_spans,
+    using_telemetry,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -94,16 +108,23 @@ __all__ = [
     "RunLedger",
     "Span",
     "SpanRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "TelemetryRecorder",
     "TimelineRecorder",
     "TimelineSeries",
+    "TraceSpan",
+    "assemble_traces",
     "chrome_trace_events",
     "critical_path_report",
     "format_critical_path",
     "get_commviz",
     "get_energy",
     "get_metrics",
+    "get_telemetry",
     "get_timeline",
     "git_sha",
+    "mint_span_id",
+    "mint_trace_id",
     "integrate_energy",
     "merge_comm_snapshots",
     "merge_energy_snapshots",
@@ -113,16 +134,21 @@ __all__ = [
     "set_commviz",
     "set_energy",
     "set_metrics",
+    "set_telemetry",
     "set_timeline",
     "spans_from_tracer",
     "spans_to_chrome_events",
     "straggler_profile",
     "summary_table",
+    "trace_summary",
+    "traces_to_spans",
     "using_commviz",
     "using_energy",
     "using_metrics",
+    "using_telemetry",
     "using_timeline",
     "write_chrome_trace",
     "write_ndjson",
     "write_spans_chrome_trace",
+    "write_trace_chrome_trace",
 ]

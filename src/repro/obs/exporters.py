@@ -131,6 +131,18 @@ def write_spans_chrome_trace(spans: Iterable[Span], path: str | Path) -> Path:
     return path
 
 
+def write_trace_chrome_trace(span_dicts: Iterable[dict],
+                             path: str | Path) -> Path:
+    """Serialise telemetry span dicts (wire form) to a Chrome trace file.
+
+    Reassembles the flat spans into per-trace trees first, so parent /
+    child causality shows up as nesting in Perfetto.
+    """
+    from .telemetry import traces_to_spans
+
+    return write_spans_chrome_trace(traces_to_spans(list(span_dicts)), path)
+
+
 def write_ndjson(records: Iterable[dict], path: str | Path) -> Path:
     """Write one JSON object per line (for log shippers / jq pipelines)."""
     path = Path(path)

@@ -37,7 +37,10 @@ from pathlib import Path
 #: well-formed row with a ``schema_version`` parses, whatever its
 #: vintage, and trend/regression queries simply skip fields a row does
 #: not have.
-LEDGER_SCHEMA_VERSION = 4
+#: v5: traced runs carry ``trace_id`` (and, for harness rows,
+#: ``trace_spans``) linking the row to its distributed job trace;
+#: telemetry-off rows omit the fields entirely.
+LEDGER_SCHEMA_VERSION = 5
 
 #: Comparable runs required before regression flagging switches on.
 MIN_HISTORY = 3

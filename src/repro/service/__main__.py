@@ -1,4 +1,4 @@
-"""Sweep-service CLI: serve, submit, status, gc.
+"""Sweep-service CLI: serve, submit, status, result, metrics, gc.
 
 Examples::
 
@@ -10,11 +10,16 @@ Examples::
     python -m repro.service submit fig06 table2
     python -m repro.service status
     python -m repro.service status 20260809-101500-a1b2c3
+    python -m repro.service result 20260809-101500-a1b2c3
 
     # CI / batch: submit first, then drain everything in one shot
     python -m repro.service submit fig12 --max-cpus 32
     python -m repro.service submit fig12 --max-cpus 32
     python -m repro.service serve --once --workers 2
+
+    # observe a telemetry-enabled service (see docs/MODEL.md §15)
+    python -m repro.service serve --telemetry --workers 2
+    python -m repro.service metrics
 
     # prune stale cache generations and old finished jobs
     python -m repro.service gc --older-than-days 7
@@ -36,6 +41,7 @@ from ..config import ReproConfig
 from ..core import sched
 from ..core.errors import ConfigError
 from ..exec.backends import available_exec_backends
+from .queue import JOB_STATES, TERMINAL_STATES
 from .spool import Spool, SpoolServer
 
 EXIT_OK = 0
@@ -48,8 +54,23 @@ EXIT_USAGE = 2
 _STATUS_LISTED_FIELDS = frozenset({
     "schema_version", "id", "items", "max_cpus", "submitted_at",
     "started_at", "finished_at", "config", "state", "error", "job",
-    "wall_s", "stats", "item_results", "artifacts",
+    "wall_s", "stats", "item_results", "artifacts", "trace_id", "trace",
 })
+
+
+def _lookup_status(spool: Spool, request_id: str) -> tuple[dict | None, str]:
+    """Resolve one request id to (status doc, error message).
+
+    Distinguishes a request the service simply has not picked up yet
+    from an id nothing in the spool has ever seen.
+    """
+    doc = spool.read_status(request_id)
+    if doc is not None:
+        return doc, ""
+    if (spool.jobs_dir / f"{request_id}.json").is_file():
+        return None, (f"request {request_id} not yet picked up by a server "
+                      f"(is one running against {spool.root}?)")
+    return None, f"unknown request id {request_id!r} in {spool.root}"
 
 
 def _add_config_flags(ap: argparse.ArgumentParser) -> None:
@@ -73,6 +94,10 @@ def _add_config_flags(ap: argparse.ArgumentParser) -> None:
                     help="account energy-to-solution per job (machine "
                          "power models; adds energy fields to the "
                          "service ledger rows)")
+    ap.add_argument("--telemetry", action="store_true", default=None,
+                    help="trace jobs and record service metrics "
+                         "(service_events.jsonl, metrics.prom, and "
+                         "traces/ in the spool; REPRO_TELEMETRY env var)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -118,6 +143,17 @@ def main(argv: list[str] | None = None) -> int:
     status.add_argument("--json", action="store_true", dest="as_json",
                         help="print raw JSON documents")
 
+    result = sub.add_parser(
+        "result", help="print one finished request's results "
+                       "(exit 0 done, 1 failed/unfinished, 2 unknown id)")
+    result.add_argument("request_id", help="the request id to fetch")
+    result.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the raw JSON status document")
+
+    metrics = sub.add_parser(
+        "metrics", help="print the service's Prometheus text exposition "
+                        "(requires a server running with --telemetry)")
+
     gc = sub.add_parser("gc", help="prune stale cache generations and "
                                    "old finished jobs")
     gc.add_argument("--older-than-days", type=float, default=7.0,
@@ -141,9 +177,11 @@ def main(argv: list[str] | None = None) -> int:
             return EXIT_USAGE
         server = SpoolServer(spool, config, workers=args.workers,
                              poll_s=args.poll_interval)
+        tel = " telemetry=on" if config.telemetry else ""
         print(f"[repro.service: spool={spool.root} "
               f"workers={args.workers} jobs={config.jobs} "
-              f"exec={config.exec_backend} engine={config.engine_backend}]")
+              f"exec={config.exec_backend} engine={config.engine_backend}"
+              f"{tel}]")
         try:
             n = server.run(once=args.once, max_wall_s=args.max_wall)
         except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -178,10 +216,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "status":
         if args.request_id is not None:
-            doc = spool.read_status(args.request_id)
+            doc, msg = _lookup_status(spool, args.request_id)
             if doc is None:
-                print(f"error: no status for {args.request_id!r} "
-                      f"(not yet picked up by a server?)", file=sys.stderr)
+                print(f"error: {msg}", file=sys.stderr)
                 return EXIT_USAGE
             print(json.dumps(doc, indent=1, sort_keys=True))
             return (EXIT_OK if doc.get("state") != "failed"
@@ -200,6 +237,10 @@ def main(argv: list[str] | None = None) -> int:
                 else ""
             err = doc.get("error")
             extra += f" error={err}" if err else ""
+            trace = doc.get("trace")
+            if isinstance(trace, dict):
+                extra += (f" trace={doc.get('trace_id')}"
+                          f"({trace.get('spans')} spans)")
             # Forward compatibility: a newer server may stamp status
             # fields this listing does not know about — show them as
             # key=value instead of silently dropping them.
@@ -207,12 +248,61 @@ def main(argv: list[str] | None = None) -> int:
                 extra += f" {key}={json.dumps(doc[key], sort_keys=True)}"
             print(f"{doc.get('id')}  {doc.get('state'):8s} "
                   f"[{items}]{extra}")
+        # Queue-shape summary: per-state counts over every state the
+        # queue knows, plus the still-unserved depth (same shape as
+        # JobQueue.stats()["by_state"], works with telemetry off).
+        by_state = {state: 0 for state in JOB_STATES}
+        for doc in docs:
+            state = doc.get("state")
+            if state in by_state:
+                by_state[state] += 1
+        depth = sum(by_state[s] for s in JOB_STATES
+                    if s not in TERMINAL_STATES)
+        shape = " ".join(f"{state}={n}" for state, n in by_state.items())
+        print(f"[{len(docs)} requests: {shape} | queue depth {depth}]")
+        if spool.metrics_path.is_file():
+            # A telemetry-enabled server keeps this fresh each tick.
+            print(f"# -- service metrics ({spool.metrics_path}) --")
+            print(spool.metrics_path.read_text(), end="")
+        return EXIT_OK
+
+    if args.command == "result":
+        doc, msg = _lookup_status(spool, args.request_id)
+        if doc is None:
+            print(f"error: {msg}", file=sys.stderr)
+            return EXIT_USAGE
+        if doc.get("state") not in TERMINAL_STATES:
+            print(f"request {args.request_id} still {doc.get('state')}",
+                  file=sys.stderr)
+            return EXIT_JOB_FAILED
+        if args.as_json:
+            print(json.dumps(doc, indent=1, sort_keys=True))
+        else:
+            for item in doc.get("item_results") or []:
+                arts = ", ".join(item.get("artifacts") or []) or "-"
+                print(f"{item.get('id')}  wall={item.get('wall_s')}s  "
+                      f"points={item.get('points')}  {arts}")
+            err = doc.get("error")
+            if err:
+                print(f"error: {err}", file=sys.stderr)
+        return (EXIT_OK if doc.get("state") == "done"
+                else EXIT_JOB_FAILED)
+
+    if args.command == "metrics":
+        if not spool.metrics_path.is_file():
+            print(f"error: no {spool.metrics_path} — is a server running "
+                  f"with --telemetry against {spool.root}?",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        print(spool.metrics_path.read_text(), end="")
         return EXIT_OK
 
     if args.command == "gc":
         report = spool.gc(older_than_s=args.older_than_days * 86400.0)
+        aged = (f", aged out {'+'.join(report['files'])}"
+                if report.get("files") else "")
         print(f"[spool gc: removed {len(report['removed'])} jobs, "
-              f"kept {report['kept']}]")
+              f"kept {report['kept']}{aged}]")
         if not args.no_cache_gc:
             try:
                 config = ReproConfig.from_env_and_args(

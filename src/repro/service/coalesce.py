@@ -32,12 +32,16 @@ import threading
 class _Flight:
     """One in-flight computation: an event plus its eventual outcome."""
 
-    __slots__ = ("event", "record", "failed")
+    __slots__ = ("event", "record", "failed", "owner_ctx")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.record = None
         self.failed = False
+        #: Telemetry trace context of the owner's compute span (or None
+        #: when telemetry is off) — waiters link their ``coalesced``
+        #: spans to the computation they piggybacked on.
+        self.owner_ctx: dict | None = None
 
 
 class Claim:
@@ -56,6 +60,14 @@ class Claim:
         """Owner only: hand the computed record to every waiter."""
         self._flight.record = record
         self._coalescer._retire(self.key, self._flight)
+
+    def set_owner_ctx(self, ctx: dict | None) -> None:
+        """Owner only: attach the owner's telemetry trace context."""
+        self._flight.owner_ctx = ctx
+
+    def owner_ctx(self) -> dict | None:
+        """The owner's trace context, once published (None before/without)."""
+        return self._flight.owner_ctx
 
     def fail(self, exc: BaseException | None = None) -> None:
         """Owner only: wake waiters empty-handed (they recompute)."""

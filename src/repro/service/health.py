@@ -1,0 +1,229 @@
+"""Service health: operational metrics, event log, Prometheus exposition.
+
+Three surfaces, one source of truth (a thread-safe wrapper around the
+existing :class:`~repro.obs.metrics.MetricsRegistry`):
+
+* :class:`ServiceMetrics` — queue depth (current + high-water), per-state
+  job counts, submit→start / submit→done latency histograms, coalescer
+  single-flight savings, cache hit/miss totals, and per-fleet worker
+  stats (spawned, requests served, crashes, restarts, requeues), all
+  under ``service.*`` names so they merge and snapshot exactly like the
+  simulation metrics.
+* :class:`ServiceEventLog` — a schema-versioned append-only
+  ``service_events.jsonl`` in the spool, the service's analogue of the
+  run ledger: one JSON object per state transition (submitted, started,
+  finished, worker crash, gc), written under a lock so concurrent job
+  threads interleave whole lines.
+* :func:`render_prometheus` — the metrics snapshot as Prometheus text
+  exposition (``# TYPE`` headers, log2 buckets unrolled into cumulative
+  ``_bucket{le="..."}`` series), written to ``metrics.prom`` by the
+  spool server and printed by ``python -m repro.service metrics`` — the
+  file a node-exporter-style scraper would collect.
+
+Everything here is only *instantiated* when ``--telemetry`` /
+``REPRO_TELEMETRY`` is on; with telemetry off the queue carries ``None``
+and pays a single ``is not None`` test per call site (the
+:mod:`repro.obs` zero-overhead discipline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from ..obs.metrics import MetricsRegistry
+
+#: Bump when the event-log record layout changes incompatibly.
+EVENTS_SCHEMA_VERSION = 1
+
+
+class ServiceMetrics:
+    """Thread-safe ``service.*`` instrument set over a MetricsRegistry.
+
+    The underlying registry is not lock-protected (simulation code is
+    single-threaded per point); the service updates it from many job
+    threads at once, so every mutation here goes through one lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.registry = MetricsRegistry(enabled=True)
+
+    # -- queue lifecycle -----------------------------------------------------
+
+    def job_submitted(self) -> None:
+        with self._lock:
+            self.registry.counter("service.jobs.submitted").inc()
+
+    def job_started(self, queue_wait_s: float) -> None:
+        with self._lock:
+            self.registry.counter("service.jobs.started").inc()
+            self.registry.histogram(
+                "service.latency.submit_start_s").observe(queue_wait_s)
+
+    def job_finished(self, state: str, submit_done_s: float) -> None:
+        with self._lock:
+            self.registry.counter(f"service.jobs.{state}").inc()
+            self.registry.histogram(
+                "service.latency.submit_done_s").observe(submit_done_s)
+
+    def observe_queue(self, depth: int, by_state: dict[str, int]) -> None:
+        """Record the instantaneous queue shape (depth + per-state counts)."""
+        with self._lock:
+            self.registry.gauge("service.queue.depth").set(depth)
+            self.registry.gauge("service.queue.depth_hwm").set_max(depth)
+            for state, n in by_state.items():
+                self.registry.gauge(f"service.jobs.state.{state}").set(n)
+
+    # -- dedup / compute accounting ------------------------------------------
+
+    def set_coalescer(self, stats: dict) -> None:
+        """Mirror the coalescer's cumulative owned/joined totals."""
+        with self._lock:
+            self.registry.counter("service.coalesce.owned").value = \
+                stats.get("owned", 0)
+            self.registry.counter("service.coalesce.joined").value = \
+                stats.get("joined", 0)
+            self.registry.gauge("service.coalesce.inflight").set(
+                stats.get("inflight", 0))
+
+    def fold_job_stats(self, stats: dict) -> None:
+        """Fold one finished job's executor-stat deltas into the totals."""
+        with self._lock:
+            for key, name in (("points", "service.points"),
+                              ("cache_hits", "service.cache.hits"),
+                              ("cache_misses", "service.cache.misses"),
+                              ("requeued", "service.fleet.requeues"),
+                              ("events", "service.sim.events")):
+                v = stats.get(key, 0)
+                if v:
+                    self.registry.counter(name).inc(v)
+
+    def fold_backend_health(self, health: dict | None) -> None:
+        """Fold an exec backend's worker-health counters (fleet stats)."""
+        if not health:
+            return
+        with self._lock:
+            for key, name in (("workers_spawned",
+                               "service.fleet.workers_spawned"),
+                              ("requests", "service.fleet.requests"),
+                              ("crashes", "service.fleet.crashes"),
+                              ("restarts", "service.fleet.restarts")):
+                v = health.get(key, 0)
+                if v:
+                    self.registry.counter(name).inc(v)
+
+    # -- views ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            hits = self.registry.value("service.cache.hits")
+            misses = self.registry.value("service.cache.misses")
+            if hits + misses:
+                self.registry.gauge("service.cache.hit_ratio").set(
+                    hits / (hits + misses))
+            return self.registry.snapshot()
+
+    def cache_hit_ratio(self) -> float | None:
+        with self._lock:
+            hits = self.registry.value("service.cache.hits")
+            misses = self.registry.value("service.cache.misses")
+        total = hits + misses
+        return hits / total if total else None
+
+
+class ServiceEventLog:
+    """Append-only JSONL service event log (the queue's flight recorder).
+
+    Same discipline as :class:`~repro.obs.ledger.RunLedger`: every
+    record is stamped with ``schema_version``; :meth:`entries` is
+    version-lenient, skipping unparseable lines rather than failing, so
+    an old reader survives a newer server's log.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def append(self, kind: str, **fields) -> dict:
+        record = {"schema_version": EVENTS_SCHEMA_VERSION,
+                  "when": round(time.time(), 6),
+                  "pid": os.getpid(),
+                  "event": kind, **fields}
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as fh:
+                fh.write(line + "\n")
+        return record
+
+    def entries(self) -> list[dict]:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return []
+        out = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(doc, dict):
+                out.append(doc)
+        return out
+
+
+# -- Prometheus text exposition -----------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """``service.queue.depth`` -> ``repro_service_queue_depth``."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{safe}"
+
+
+def _fmt(v: float) -> str:
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v) if isinstance(v, float) else str(v)
+
+
+def render_prometheus(snapshot: dict, *, help_prefix: str = "repro") -> str:
+    """A metrics snapshot as Prometheus text exposition format.
+
+    Counters and gauges map directly; log2-bucket histograms unroll into
+    the cumulative ``_bucket{le="..."}`` convention (the ``le`` value of
+    exponent ``e`` is ``2.0**e``, the bucket's inclusive upper bound),
+    plus the standard ``_sum``/``_count`` pair.  Output is sorted by
+    metric name, so two expositions of equal state are byte-equal.
+    """
+    lines: list[str] = []
+    for name, v in sorted(snapshot.get("counters", {}).items()):
+        p = _prom_name(name)
+        lines.append(f"# HELP {p} {help_prefix} counter {name}")
+        lines.append(f"# TYPE {p} counter")
+        lines.append(f"{p} {_fmt(v)}")
+    for name, v in sorted(snapshot.get("gauges", {}).items()):
+        p = _prom_name(name)
+        lines.append(f"# HELP {p} {help_prefix} gauge {name}")
+        lines.append(f"# TYPE {p} gauge")
+        lines.append(f"{p} {_fmt(v)}")
+    for name, h in sorted(snapshot.get("histograms", {}).items()):
+        p = _prom_name(name)
+        lines.append(f"# HELP {p} {help_prefix} histogram {name}")
+        lines.append(f"# TYPE {p} histogram")
+        cum = 0
+        for exp, n in sorted(((int(k), v)
+                              for k, v in h.get("buckets", {}).items())):
+            cum += n
+            lines.append(f'{p}_bucket{{le="{2.0 ** exp}"}} {cum}')
+        lines.append(f'{p}_bucket{{le="+Inf"}} {h.get("count", 0)}')
+        lines.append(f"{p}_sum {_fmt(h.get('sum', 0))}")
+        lines.append(f"{p}_count {h.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")

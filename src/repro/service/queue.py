@@ -39,7 +39,10 @@ from ..api import normalize_figure_id, normalize_item_id, \
 from ..config import ReproConfig
 from ..exec.executor import SweepExecutor, using_executor
 from ..obs.energy import EnergyRecorder, using_energy
+from ..obs.telemetry import (TelemetryRecorder, mint_span_id, mint_trace_id,
+                             trace_summary, using_telemetry)
 from .coalesce import PointCoalescer
+from .health import ServiceEventLog, ServiceMetrics
 
 #: Job lifecycle states.
 JOB_STATES = ("queued", "running", "done", "failed")
@@ -68,6 +71,13 @@ class Job:
         self.artifacts: list[str] = []
         self.cond = threading.Condition()
         self.events: list[dict] = []
+        #: Telemetry (present only when the queue runs with --telemetry):
+        #: the job's trace id, its pre-minted root span id, and — once
+        #: terminal — the complete span list plus a compact summary.
+        self.trace_id: str | None = None
+        self.root_span_id: str | None = None
+        self.trace_spans: list[dict] | None = None
+        self.trace: dict | None = None
 
     def emit(self, kind: str, **data) -> None:
         with self.cond:
@@ -94,6 +104,10 @@ class Job:
             }
             if self.energy is not None:
                 doc["energy"] = dict(self.energy)
+            if self.trace_id is not None:
+                doc["trace_id"] = self.trace_id
+            if self.trace is not None:
+                doc["trace"] = dict(self.trace)
             return doc
 
 
@@ -104,7 +118,8 @@ class JobQueue:
                  workers: int = 2,
                  cache=None,
                  artifacts_dir: str | Path | None = None,
-                 ledger_path: str | Path | None = None) -> None:
+                 ledger_path: str | Path | None = None,
+                 events_path: str | Path | None = None) -> None:
         self.config = config if config is not None \
             else ReproConfig.from_env_and_args()
         self.config.apply_engine_backend()
@@ -114,6 +129,23 @@ class JobQueue:
                               if artifacts_dir is not None else None)
         self.ledger_path = (Path(ledger_path)
                             if ledger_path is not None else None)
+        # Telemetry trio, present only under --telemetry: one shared
+        # trace recorder (span stacks are per worker thread, so
+        # concurrent jobs do not interleave), one service metrics set,
+        # and — when the spool gave us a path — the append-only event
+        # log.  With telemetry off all three are None and every call
+        # site below pays one `is not None` test.
+        if self.config.telemetry:
+            self.telemetry: TelemetryRecorder | None = \
+                TelemetryRecorder(enabled=True)
+            self.metrics: ServiceMetrics | None = ServiceMetrics()
+            self.event_log: ServiceEventLog | None = (
+                ServiceEventLog(events_path)
+                if events_path is not None else None)
+        else:
+            self.telemetry = None
+            self.metrics = None
+            self.event_log = None
         self.workers = max(1, int(workers))
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
@@ -155,10 +187,22 @@ class JobQueue:
             elif job_id in self._jobs:
                 raise ValueError(f"duplicate job id {job_id!r}")
             job = Job(job_id, tuple(idents), max_cpus)
+            if self.telemetry is not None:
+                # The root span id is minted now, written at job end:
+                # everything recorded in between names it as parent.
+                job.trace_id = mint_trace_id()
+                job.root_span_id = mint_span_id()
             self._jobs[job_id] = job
             self._order.append(job_id)
         job.emit("queued", items=list(idents))
+        if self.metrics is not None:
+            self.metrics.job_submitted()
+        if self.event_log is not None:
+            self.event_log.append("submitted", job=job_id,
+                                  items=list(idents), max_cpus=max_cpus,
+                                  trace_id=job.trace_id)
         self._pending.put(job_id)
+        self._observe_queue()
         return job_id
 
     # -- inspection ---------------------------------------------------------
@@ -188,7 +232,13 @@ class JobQueue:
         job = self._get(job_id)
         deadline = None if timeout is None else time.monotonic() + timeout
         with job.cond:
-            while job.state not in TERMINAL_STATES:
+            # Wait for the terminal *event*, not just the terminal
+            # state: the state flips first, but the ledger row and (when
+            # telemetry is on) the assembled job trace are only attached
+            # when the terminal event is emitted — a result() caller
+            # must never observe a finished job without them.
+            while not (job.events
+                       and job.events[-1]["type"] in TERMINAL_STATES):
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
                 if remaining is not None and remaining <= 0:
@@ -218,15 +268,35 @@ class JobQueue:
                 if event["type"] in TERMINAL_STATES:
                     return
 
+    def _by_state(self) -> dict[str, int]:
+        """Per-state job counts, zero-filled over every lifecycle state."""
+        counts = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet picked up by a worker thread."""
+        return self._pending.qsize()
+
+    def _observe_queue(self) -> None:
+        if self.metrics is not None:
+            self.metrics.observe_queue(self.queue_depth(), self._by_state())
+
     def stats(self) -> dict:
-        """Aggregate queue statistics (jobs by state, dedup totals)."""
+        """Aggregate queue statistics (jobs by state, dedup totals).
+
+        Always available — per-state counts and queue depth do not
+        depend on ``--telemetry``, so the spool ``status`` summary line
+        can print them for any server.
+        """
         snaps = self.poll()
-        by_state: dict[str, int] = {}
+        by_state = self._by_state()
         totals = {"points": 0, "cache_hits": 0, "cache_misses": 0,
                   "coalesced": 0, "requeued": 0, "events": 0,
                   "computed": 0}
         for s in snaps:
-            by_state[s["state"]] = by_state.get(s["state"], 0) + 1
             st = s["stats"]
             for k in ("points", "cache_hits", "cache_misses", "coalesced",
                       "requeued", "events"):
@@ -235,8 +305,24 @@ class JobQueue:
         # sibling's in-flight computation.
         totals["computed"] = totals["cache_misses"] - totals["coalesced"]
         return {"jobs": len(snaps), "by_state": by_state,
+                "queue_depth": self.queue_depth(),
                 "workers": self.workers, **totals,
                 "coalescer": self.coalescer.stats()}
+
+    def metrics_snapshot(self) -> dict | None:
+        """The service metrics snapshot, or None with telemetry off."""
+        if self.metrics is None:
+            return None
+        self.metrics.set_coalescer(self.coalescer.stats())
+        self.metrics.observe_queue(self.queue_depth(), self._by_state())
+        return self.metrics.snapshot()
+
+    def job_trace(self, job_id: str) -> list[dict] | None:
+        """A terminal job's telemetry spans (wire dicts), if traced."""
+        job = self._get(job_id)
+        with job.cond:
+            return (list(job.trace_spans)
+                    if job.trace_spans is not None else None)
 
     # -- execution ----------------------------------------------------------
 
@@ -263,16 +349,45 @@ class JobQueue:
             job.state = "running"
             job.started_at = time.time()
         job.emit("running")
+        tel = self.telemetry
+        root_ctx = run_span = None
+        if tel is not None:
+            # The trace root (service.job) is written retroactively at
+            # job end with the span id minted at submit; meanwhile the
+            # queue wait is recorded from its observed boundaries and
+            # the live run phase opens here, on this worker thread.
+            root_ctx = {"trace_id": job.trace_id,
+                        "span_id": job.root_span_id}
+            tel.record("queue.wait", "service",
+                       t_start=job.submitted_at, t_end=job.started_at,
+                       parent=root_ctx, job=job.id)
+            run_span = tel.begin("job.run", "service", parent=root_ctx,
+                                 job=job.id)
+        if self.metrics is not None:
+            self.metrics.job_started(job.started_at - job.submitted_at)
+        if self.event_log is not None:
+            self.event_log.append(
+                "started", job=job.id, trace_id=job.trace_id,
+                queue_wait_s=round(job.started_at - job.submitted_at, 6))
+        self._observe_queue()
+        tel_scope = (using_telemetry(tel) if tel is not None
+                     else _nullcontext())
         t0 = perf_counter()
+        outcome = "failed"
         try:
-            with en_scope, using_executor(executor):
+            with tel_scope, en_scope, using_executor(executor):
                 for ident in job.items:
                     before = executor.stats()
                     it0 = perf_counter()
                     result = run_item(ident, max_cpus=job.max_cpus)
                     item_wall = perf_counter() - it0
                     after = executor.stats()
-                    paths = self._save_artifacts(job, ident, result)
+                    if tel is not None and self.artifacts_dir is not None:
+                        with tel.span("job.artifact_save", "service",
+                                      item=ident):
+                            paths = self._save_artifacts(job, ident, result)
+                    else:
+                        paths = self._save_artifacts(job, ident, result)
                     item_doc = {
                         "id": ident,
                         "wall_s": round(item_wall, 6),
@@ -287,26 +402,84 @@ class JobQueue:
                     job.emit("item", **item_doc)
         except Exception as exc:
             with job.cond:
-                job.state = "failed"
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.finished_at = time.time()
                 job.wall_s = round(perf_counter() - t0, 6)
                 job.stats = executor.stats()
                 if enrec is not None:
                     job.energy = enrec.totals()
-            job.emit("failed", error=job.error)
+            if tel is not None:
+                tel.end(run_span, status="error")
         else:
+            outcome = "done"
             with job.cond:
-                job.state = "done"
                 job.finished_at = time.time()
                 job.wall_s = round(perf_counter() - t0, 6)
                 job.stats = executor.stats()
                 if enrec is not None:
                     job.energy = enrec.totals()
-            job.emit("done", stats=job.stats)
+            if tel is not None:
+                tel.end(run_span)
         finally:
-            executor.close()
-            self._append_ledger(job)
+            # The public state flip and terminal event (which wake
+            # result()/stream() waiters and tell pollers the snapshot is
+            # final) are deliberately LAST: by the time anyone observes
+            # a terminal state, the ledger row is appended and the trace
+            # is assembled onto the job.
+            try:
+                backend_health = executor.backend_health()
+                executor.close()
+                if tel is not None:
+                    with using_telemetry(tel), \
+                            tel.span("job.ledger_append", "service",
+                                     parent=root_ctx, job=job.id):
+                        self._append_ledger(job, state=outcome)
+                    self._finish_telemetry(job, backend_health, outcome)
+                else:
+                    self._append_ledger(job, state=outcome)
+            finally:
+                with job.cond:
+                    job.state = outcome
+                if outcome == "failed":
+                    job.emit("failed", error=job.error)
+                else:
+                    job.emit("done", stats=job.stats)
+
+    def _finish_telemetry(self, job: Job, backend_health: dict | None,
+                          outcome: str) -> None:
+        """Close out a traced job: totals, event log, trace assembly."""
+        tel = self.telemetry
+        if self.metrics is not None:
+            self.metrics.job_finished(
+                outcome, (job.finished_at or job.submitted_at)
+                - job.submitted_at)
+            self.metrics.fold_job_stats(job.stats)
+            self.metrics.fold_backend_health(backend_health)
+            self.metrics.set_coalescer(self.coalescer.stats())
+        self._observe_queue()
+        # Retro-write the trace root now that both endpoints are known,
+        # then move the completed trace off the shared recorder.
+        tel.record("service.job", "service",
+                   t_start=job.submitted_at,
+                   t_end=job.finished_at or time.time(),
+                   parent={"trace_id": job.trace_id},
+                   span_id=job.root_span_id,
+                   status="ok" if outcome == "done" else "error",
+                   job=job.id, items=list(job.items), state=outcome)
+        spans = tel.take_trace(job.trace_id)
+        summary = trace_summary(spans)
+        doc = summary["traces"].get(job.trace_id, {})
+        doc["trace_id"] = job.trace_id
+        with job.cond:
+            job.trace_spans = spans
+            job.trace = doc
+        if self.event_log is not None:
+            self.event_log.append(
+                "finished", job=job.id, state=outcome,
+                trace_id=job.trace_id, wall_s=job.wall_s,
+                stats=dict(job.stats), error=job.error,
+                spans=len(spans),
+                fleet=backend_health or {})
 
     def _save_artifacts(self, job: Job, ident: str, result) -> list[str]:
         if self.artifacts_dir is None:
@@ -322,7 +495,7 @@ class JobQueue:
             save_figure(result, out)
         return sorted(str(p) for p in out.glob(f"{ident}.*"))
 
-    def _append_ledger(self, job: Job) -> None:
+    def _append_ledger(self, job: Job, *, state: str | None = None) -> None:
         """One run-ledger row per finished job (same schema as the harness)."""
         if self.ledger_path is None:
             return
@@ -338,7 +511,7 @@ class JobQueue:
             "run_key": run_key(list(job.items), job.max_cpus,
                                self.config.engine_backend),
             "service": job.id,
-            "state": job.state,
+            "state": state if state is not None else job.state,
             "items": list(job.items),
             "max_cpus": job.max_cpus,
             "jobs": self.config.jobs,
@@ -359,6 +532,11 @@ class JobQueue:
             row["energy_total_j"] = job.energy["total_j"]
             row["energy_avg_power_w"] = job.energy["avg_power_w"]
             row["energy_edp_js"] = job.energy["edp_js"]
+        if job.trace_id is not None:
+            # Traced jobs link their ledger row to the job trace; the
+            # full span summary lives in the status document (the row is
+            # appended *inside* the trace, before the root is written).
+            row["trace_id"] = job.trace_id
         RunLedger(self.ledger_path).append(row)
 
     # -- lifecycle ----------------------------------------------------------

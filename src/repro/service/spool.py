@@ -11,6 +11,9 @@ anywhere a shared filesystem does — a laptop, a login node, a CI runner
       status/<request-id>.json    server-maintained status document
       artifacts/<job-id>/         CSV/TXT/JSON exports per job
       service_ledger.jsonl        one run-ledger row per finished job
+      service_events.jsonl        service event log (telemetry only)
+      metrics.prom                Prometheus exposition (telemetry only)
+      traces/<request-id>.json    Chrome trace per job (telemetry only)
 
 A request file is the whole client protocol: ``submit`` drops one,
 ``serve`` picks it up (any request without a status file is new), runs
@@ -75,6 +78,9 @@ class Spool:
         self.status_dir = self.root / "status"
         self.artifacts_dir = self.root / "artifacts"
         self.ledger_path = self.root / "service_ledger.jsonl"
+        self.events_path = self.root / "service_events.jsonl"
+        self.metrics_path = self.root / "metrics.prom"
+        self.traces_dir = self.root / "traces"
 
     def ensure(self) -> "Spool":
         for d in (self.jobs_dir, self.status_dir, self.artifacts_dir):
@@ -156,10 +162,15 @@ class Spool:
         """Remove terminal requests (+status/artifacts) older than the age.
 
         Only *terminal* requests are touched — queued or running work is
-        never collected.  Returns ``{removed: [...], kept: int}``.
+        never collected.  Telemetry droppings follow the same policy:
+        each collected request takes its ``traces/<id>.json`` with it,
+        and once no statuses remain at all, a sufficiently old
+        ``service_events.jsonl`` / ``metrics.prom`` is aged out too
+        (they aggregate across requests, so they outlive any single
+        one).  Returns ``{removed: [...], kept: int, files: [...]}``.
         """
         now = time.time()
-        removed, kept = [], 0
+        removed, kept, files = [], 0, []
         for doc in self.statuses():
             rid = doc.get("id")
             state = doc.get("state")
@@ -169,7 +180,8 @@ class Spool:
                 kept += 1
                 continue
             for path in (self.jobs_dir / f"{rid}.json",
-                         self.status_dir / f"{rid}.json"):
+                         self.status_dir / f"{rid}.json",
+                         self.traces_dir / f"{rid}.json"):
                 try:
                     path.unlink()
                 except OSError:
@@ -180,7 +192,19 @@ class Spool:
                 shutil.rmtree(self.artifacts_dir / job_id,
                               ignore_errors=True)
             removed.append(rid)
-        return {"removed": removed, "kept": kept}
+        if kept == 0:
+            for path in (self.events_path, self.metrics_path):
+                try:
+                    if now - path.stat().st_mtime >= older_than_s:
+                        path.unlink()
+                        files.append(path.name)
+                except OSError:
+                    pass
+            try:
+                self.traces_dir.rmdir()  # only if empty
+            except OSError:
+                pass
+        return {"removed": removed, "kept": kept, "files": files}
 
 
 class SpoolServer:
@@ -192,7 +216,8 @@ class SpoolServer:
         self.poll_s = poll_s
         self.queue = JobQueue(config, workers=workers,
                               artifacts_dir=spool.artifacts_dir,
-                              ledger_path=spool.ledger_path)
+                              ledger_path=spool.ledger_path,
+                              events_path=spool.events_path)
         #: request id -> queue job id, for requests this server accepted.
         self._accepted: dict[str, str] = {}
         self._terminal: set[str] = set()
@@ -222,7 +247,31 @@ class SpoolServer:
                 # Only energy-accounted jobs carry the field — no
                 # null-padding of energy-off statuses.
                 doc["energy"] = job_doc["energy"]
+            for key in ("trace_id", "trace"):
+                # Likewise only traced jobs carry telemetry fields.
+                if key in job_doc:
+                    doc[key] = job_doc[key]
         return doc
+
+    def _flush_telemetry(self, rid: str, job_id: str) -> None:
+        """Write the per-request Chrome trace once the job is terminal."""
+        spans = self.queue.job_trace(job_id)
+        if not spans:
+            return
+        from ..obs.exporters import write_trace_chrome_trace
+        self.spool.traces_dir.mkdir(parents=True, exist_ok=True)
+        write_trace_chrome_trace(spans, self.spool.traces_dir
+                                 / f"{rid}.json")
+
+    def _write_metrics(self) -> None:
+        """Refresh ``metrics.prom`` (the scrape file) from the registry."""
+        snap = self.queue.metrics_snapshot()
+        if snap is None:
+            return
+        from .health import render_prometheus
+        tmp = self.spool.metrics_path.with_suffix(".prom.tmp")
+        tmp.write_text(render_prometheus(snap))
+        os.replace(tmp, self.spool.metrics_path)
 
     def step(self) -> int:
         """One server tick: ingest new requests, refresh live statuses.
@@ -266,10 +315,12 @@ class SpoolServer:
                        "submitted_at": existing.get("submitted_at")}
             self.spool.write_status(rid, self._status_doc(request, job_doc))
             if job_doc["state"] in TERMINAL_STATES:
+                self._flush_telemetry(rid, job_id)
                 self._terminal.add(rid)
                 del self._accepted[rid]
             else:
                 live += 1
+        self._write_metrics()
         return live
 
     def run(self, *, once: bool = False,

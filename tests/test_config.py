@@ -151,4 +151,4 @@ def test_to_dict_roundtrips_fields():
     doc = cfg.to_dict()
     assert doc == {"jobs": 2, "engine_backend": cfg.engine_backend,
                    "exec_backend": "pool", "cache_dir": cfg.cache_dir,
-                   "cache": True, "energy": False}
+                   "cache": True, "energy": False, "telemetry": False}

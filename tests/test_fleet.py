@@ -1,0 +1,239 @@
+"""Fleet worker protocol and crash/restart accounting.
+
+Two layers under test.  The worker side
+(:func:`repro.exec.fleet.serve`) is a pure stdin/stdout loop, so it is
+driven directly with in-memory streams: malformed lines, unknown ops,
+EOF, shutdown, and the optional trace-context round trip.  The parent
+side (:class:`repro.exec.backends.SubprocessBackend`) is exercised with
+an in-process stand-in for the worker subprocess, so a worker that dies
+mid-request or emits garbage exercises the real failure bookkeeping —
+partial results surface, lost points requeue exactly once, and the
+fleet-health counters (crashes, restarts, requests) add up.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exec import SimPoint, SweepExecutor, compute_point
+from repro.exec.backends import (
+    ExecBackendError,
+    SubprocessBackend,
+    WorkerContext,
+    decode_point,
+    decode_record,
+    encode_point,
+    encode_record,
+)
+from repro.exec.fleet import serve
+
+
+def _point(nprocs=2):
+    return SimPoint.make("imb", "xeon", nprocs, benchmark="Sendrecv",
+                         msg_bytes=1024)
+
+
+def _serve_lines(*msgs: object) -> list[dict]:
+    """Feed protocol lines through serve(); returns the parsed replies."""
+    lines = []
+    for m in msgs:
+        lines.append(m if isinstance(m, str) else json.dumps(m))
+    stdin = io.StringIO("\n".join(lines) + "\n")
+    stdout = io.StringIO()
+    assert serve(stdin, stdout) == 0
+    return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+_INIT = {"op": "init", "ctx": WorkerContext(engine_backend="heapq").to_dict()}
+
+
+# -- worker side: the protocol loop -------------------------------------------
+
+
+def test_serve_eof_is_a_clean_exit():
+    assert serve(io.StringIO(""), io.StringIO()) == 0
+
+
+def test_serve_shutdown_stops_reading():
+    replies = _serve_lines({"op": "shutdown"},
+                           {"op": "job", "id": 0})  # never reached
+    assert replies == []
+
+
+def test_serve_malformed_line_replies_error_and_continues():
+    replies = _serve_lines("this is not json", {"op": "shutdown"})
+    (err,) = replies
+    assert err["op"] == "error" and err["id"] is None
+    assert "malformed" in err["error"]
+
+
+def test_serve_unknown_op_replies_error():
+    replies = _serve_lines(_INIT, {"op": "dance", "id": 9},
+                           {"op": "shutdown"})
+    (err,) = replies
+    assert err["op"] == "error" and err["id"] == 9
+    assert "unknown op" in err["error"]
+
+
+def test_serve_blank_lines_are_skipped():
+    stdin = io.StringIO("\n\n" + json.dumps({"op": "shutdown"}) + "\n")
+    stdout = io.StringIO()
+    assert serve(stdin, stdout) == 0
+    assert stdout.getvalue() == ""
+
+
+def test_serve_job_round_trip_matches_inline():
+    pt = _point()
+    replies = _serve_lines(
+        _INIT,
+        {"op": "job", "id": 3, "point": encode_point(pt)},
+        {"op": "shutdown"})
+    (reply,) = replies
+    assert reply["op"] == "result" and reply["id"] == 3
+    assert "spans" not in reply  # untraced job: no telemetry payload
+    record = decode_record(reply["record"])
+    expect = compute_point(pt)
+    assert record.value == expect.value
+    assert record.events == expect.events
+
+
+def test_serve_sim_error_replies_error_with_traceback():
+    bad = SimPoint.make("nope", "xeon", 2)
+    replies = _serve_lines(
+        _INIT,
+        {"op": "job", "id": 7, "point": encode_point(bad)},
+        {"op": "shutdown"})
+    (err,) = replies
+    assert err["op"] == "error" and err["id"] == 7
+    assert "unknown simulation point" in err["error"]
+
+
+def test_serve_traced_job_ships_spans_home():
+    pt = _point()
+    ctx = {"trace_id": "trace-X", "parent_span_id": "span-Y"}
+    replies = _serve_lines(
+        _INIT,
+        {"op": "job", "id": 0, "point": encode_point(pt), "trace": ctx},
+        {"op": "shutdown"})
+    (reply,) = replies
+    spans = reply["spans"]
+    assert spans, "traced job must return its spans"
+    assert all(s["trace_id"] == "trace-X" for s in spans)
+    # The worker's top-level span hangs off the remote parent.
+    roots = [s for s in spans if s["parent_id"] == "span-Y"]
+    assert [s["name"] for s in roots] == ["point.compute"]
+    # Tracing never leaks into the record payload.
+    traced = decode_record(reply["record"])
+    plain = compute_point(pt)
+    assert traced.value == plain.value
+    assert traced.events == plain.events
+
+
+# -- parent side: crash/restart accounting ------------------------------------
+
+
+class _FakeWorker:
+    """In-process stand-in for one fleet subprocess.
+
+    Behaviours (assigned per spawn index from ``plan``):
+    ``ok`` answers every job; ``die-after-1`` answers one job then
+    simulates worker death (EOF on its stdout); ``garbage`` simulates a
+    worker writing a non-JSON line.
+    """
+
+    plan: dict[int, str] = {}
+    spawned: list["_FakeWorker"] = []
+
+    def __init__(self, ctx) -> None:
+        self.behavior = self.plan.get(len(self.spawned), "ok")
+        type(self).spawned.append(self)
+        self.answered = 0
+        self.closed = False
+        self._last: dict | None = None
+
+    def send(self, msg: dict) -> None:
+        self._last = msg
+
+    def recv(self) -> dict | None:
+        msg = self._last
+        assert msg is not None and msg["op"] == "job"
+        if self.behavior == "die-after-1" and self.answered >= 1:
+            return None  # EOF: the process is gone
+        if self.behavior == "garbage":
+            raise json.JSONDecodeError("Expecting value", "<<<garbage>>>", 0)
+        self.answered += 1
+        record = compute_point(decode_point(msg["point"]))
+        return {"op": "result", "id": msg["id"],
+                "record": encode_record(record)}
+
+    def alive(self) -> bool:
+        return not self.closed
+
+    def close(self) -> None:
+        self.closed = True
+
+
+@pytest.fixture
+def fake_fleet(monkeypatch):
+    monkeypatch.setattr("repro.exec.backends._FleetWorker", _FakeWorker)
+    _FakeWorker.plan = {}
+    _FakeWorker.spawned = []
+    return _FakeWorker
+
+
+def test_worker_death_surfaces_partials_and_counts_one_crash(fake_fleet):
+    fake_fleet.plan = {1: "die-after-1"}
+    backend = SubprocessBackend(jobs=2)
+    pts = [_point(p) for p in (2, 4, 8, 16)]
+    with pytest.raises(ExecBackendError) as ei:
+        backend.compute(pts)
+    err = ei.value
+    assert "exited mid-batch" in str(err)
+    # Worker 0 finished its share (points 0, 2); worker 1 answered one
+    # job (point 1) before dying, losing point 3.
+    assert set(err.done) == {0, 1, 2}
+    assert backend.health["crashes"] == 1
+    assert backend.health["requests"] == 3
+    assert all(w.closed for w in fake_fleet.spawned)  # fleet dropped
+
+
+def test_garbage_from_worker_counts_as_crash(fake_fleet):
+    fake_fleet.plan = {0: "garbage"}
+    backend = SubprocessBackend(jobs=2)
+    with pytest.raises(ExecBackendError, match="worker i/o failed"):
+        backend.compute([_point(p) for p in (2, 4)])
+    assert backend.health["crashes"] == 1
+
+
+def test_respawn_after_crash_counts_restarts(fake_fleet):
+    fake_fleet.plan = {0: "garbage"}
+    backend = SubprocessBackend(jobs=2)
+    pts = [_point(p) for p in (2, 4)]
+    with pytest.raises(ExecBackendError):
+        backend.compute(pts)
+    assert backend.health["restarts"] == 0
+    fake_fleet.plan = {}
+    records = backend.compute(pts)  # fleet respawns lazily, healthy now
+    assert len(records) == 2
+    assert backend.health["restarts"] == 2  # both workers are respawns
+    assert backend.health["workers_spawned"] == 4
+    backend.close()
+
+
+def test_executor_requeues_lost_points_exactly_once(fake_fleet):
+    fake_fleet.plan = {1: "die-after-1"}
+    backend = SubprocessBackend(jobs=2)
+    pts = [_point(p) for p in (2, 4, 8, 16)]
+    with SweepExecutor(jobs=1, cache=None, backend="inline") as ref:
+        clean = ref.run_points(pts)
+    ex = SweepExecutor(jobs=2, cache=None, backend=backend)
+    values = ex.run_points(pts)
+    assert values == clean  # identical output despite the mid-batch death
+    st = ex.stats()
+    assert st["points"] == len(pts)       # counted once, not re-counted
+    assert st["cache_misses"] == len(pts)
+    assert st["requeued"] == 1            # only the lost point recomputed
+    assert backend.health["crashes"] == 1

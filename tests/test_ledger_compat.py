@@ -3,10 +3,10 @@
 ``tests/data/ledger_legacy_rows.jsonl`` is a committed sample of one
 history file as it accumulates across repository eras — schema v1
 (no engine backend), v2, a v3-stamped row, one malformed merge scar,
-and a v4 energy-accounted row.  Readers are version-lenient by
-contract: every well-formed row parses whatever its vintage, trend and
-regression queries span the eras, and only rows that actually carry
-energy fields have them.
+a v4 energy-accounted row, and a v5 traced row.  Readers are
+version-lenient by contract: every well-formed row parses whatever its
+vintage, trend and regression queries span the eras, and only rows
+that actually carry energy/trace fields have them.
 """
 
 from __future__ import annotations
@@ -29,7 +29,7 @@ def _ledger(tmp_path):
 def test_legacy_rows_all_parse_and_scar_is_skipped(tmp_path):
     ledger = _ledger(tmp_path)
     entries = ledger.entries()
-    assert [e["schema_version"] for e in entries] == [1, 2, 2, 3, 4]
+    assert [e["schema_version"] for e in entries] == [1, 2, 2, 3, 4, 5]
     assert ledger.skipped == 1  # the merge scar, counted never fatal
 
 
@@ -41,11 +41,18 @@ def test_energy_fields_only_on_energy_rows(tmp_path):
     assert with_energy[0]["energy_edp_js"] > 0
 
 
+def test_trace_fields_only_on_traced_rows(tmp_path):
+    entries = _ledger(tmp_path).entries()
+    traced = [e for e in entries if "trace_id" in e]
+    assert [e["schema_version"] for e in traced] == [5]
+    assert traced[0]["trace_spans"] > 0
+
+
 def test_trend_spans_schema_versions(tmp_path):
     rows = _ledger(tmp_path).trend(KEY, "wall_s")
-    assert len(rows) == 5  # v1 through v4 all contribute
+    assert len(rows) == 6  # v1 through v5 all contribute
     assert rows[0] == ("aaaa111", 10.5)
-    assert rows[-1] == ("eeee555", 10.0)
+    assert rows[-1] == ("ffff666", 10.4)
 
 
 def test_regression_gates_fresh_entry_against_legacy_history(tmp_path):
@@ -65,15 +72,15 @@ def test_appending_after_the_bump_stamps_current_version(tmp_path):
     ledger = _ledger(tmp_path)
     stamped = ledger.append({"run_key": KEY, "wall_s": 9.9,
                              "events_per_s": 103000})
-    assert stamped["schema_version"] == LEDGER_SCHEMA_VERSION == 4
+    assert stamped["schema_version"] == LEDGER_SCHEMA_VERSION == 5
     versions = [e["schema_version"] for e in ledger.entries()]
-    assert versions == [1, 2, 2, 3, 4, 4]
+    assert versions == [1, 2, 2, 3, 4, 5, 5]
 
 
 def test_validation_gate_accepts_mixed_era_ledger(tmp_path):
     ledger = _ledger(tmp_path)
     report = check_ledger(ledger.path)
     assert report["ok"]
-    assert report["entries"] == 5
+    assert report["entries"] == 6
     assert report["malformed"] == 1
     assert report["checked"]  # enough same-key history to compare

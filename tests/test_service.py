@@ -230,7 +230,7 @@ def test_spool_status_listing_and_unknown(tmp_path, capsys):
     assert "no jobs" in capsys.readouterr().out
     rc = service_main(["--root", root, "status", "nope"])
     assert rc == 2
-    assert "no status" in capsys.readouterr().err
+    assert "unknown request id" in capsys.readouterr().err
 
 
 def test_spool_serve_reports_failed_jobs(tmp_path, capsys):
